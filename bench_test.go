@@ -1,0 +1,254 @@
+package ralin
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index), plus scaling and
+// ablation benchmarks for the checker itself. The paper reports no wall-clock
+// numbers; the quantities of interest are the verdicts (reproduced by the
+// harness package and asserted in the test suite) and the relative cost of
+// the constructive linearization strategies versus the exhaustive search.
+
+import (
+	"fmt"
+	"testing"
+
+	"ralin/internal/core"
+	"ralin/internal/crdt"
+	"ralin/internal/crdt/registry"
+	"ralin/internal/harness"
+	"ralin/internal/verify"
+)
+
+// benchExperiment re-runs one figure reproduction per iteration and fails the
+// benchmark if the reproduction stops matching the paper.
+func benchExperiment(b *testing.B, run func() harness.Experiment) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if e := run(); !e.OK {
+			b.Fatalf("experiment %s no longer reproduces", e.ID)
+		}
+	}
+}
+
+// BenchmarkFig2RGAConflictResolution regenerates Figure 2 (E-FIG2).
+func BenchmarkFig2RGAConflictResolution(b *testing.B) { benchExperiment(b, harness.Fig2) }
+
+// BenchmarkFig3HistoryExtraction regenerates Figure 3 (E-FIG3).
+func BenchmarkFig3HistoryExtraction(b *testing.B) { benchExperiment(b, harness.Fig3) }
+
+// BenchmarkFig5aORSetNotLinearizable regenerates Figure 5a (E-FIG5A).
+func BenchmarkFig5aORSetNotLinearizable(b *testing.B) { benchExperiment(b, harness.Fig5a) }
+
+// BenchmarkFig5bORSetRALinearizable regenerates Figure 5b (E-FIG5B).
+func BenchmarkFig5bORSetRALinearizable(b *testing.B) { benchExperiment(b, harness.Fig5b) }
+
+// BenchmarkSec33ClientReasoning explores every schedule of the Section 3.3
+// client program (E-SEC33).
+func BenchmarkSec33ClientReasoning(b *testing.B) { benchExperiment(b, harness.Sec33) }
+
+// BenchmarkFig8TimestampOrderLinearization regenerates Figure 8 (E-FIG8).
+func BenchmarkFig8TimestampOrderLinearization(b *testing.B) { benchExperiment(b, harness.Fig8) }
+
+// BenchmarkFig9CompositionExecutionOrder regenerates Figure 9 (E-FIG9).
+func BenchmarkFig9CompositionExecutionOrder(b *testing.B) { benchExperiment(b, harness.Fig9) }
+
+// BenchmarkFig10CompositionSharedTimestamp regenerates Figure 10 (E-FIG10).
+func BenchmarkFig10CompositionSharedTimestamp(b *testing.B) { benchExperiment(b, harness.Fig10) }
+
+// BenchmarkFig13SemanticsSteps regenerates Figure 13 (E-FIG13).
+func BenchmarkFig13SemanticsSteps(b *testing.B) { benchExperiment(b, harness.Fig13) }
+
+// BenchmarkFig14AddAtSpecSeparation regenerates Figure 14 (E-FIG14).
+func BenchmarkFig14AddAtSpecSeparation(b *testing.B) { benchExperiment(b, harness.Fig14) }
+
+// fig12BenchOptions keeps one Figure 12 row affordable inside a benchmark
+// iteration while still running every obligation.
+func fig12BenchOptions() harness.Fig12Options {
+	return harness.Fig12Options{
+		Verify: verify.Options{
+			Seed: 1, Trials: 5, Ops: 8, Replicas: 3,
+			Elems: []string{"a", "b", "c"}, MaxStates: 25,
+		},
+		HistoryTrials: 8,
+		Workload: harness.WorkloadConfig{
+			Seed: 1, Ops: 8, Replicas: 3,
+			Elems: []string{"a", "b", "c"}, DeliveryProb: 40,
+		},
+	}
+}
+
+// BenchmarkFig12Table regenerates the whole Figure 12 table per iteration
+// (E-FIG12).
+func BenchmarkFig12Table(b *testing.B) {
+	b.ReportAllocs()
+	opts := fig12BenchOptions()
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Fig12Table(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if !r.OK() {
+				b.Fatalf("row %s failed verification", r.Name)
+			}
+		}
+	}
+}
+
+// BenchmarkFig12 regenerates each row of Figure 12 separately: proof
+// obligations plus random-history checking for one CRDT per sub-benchmark.
+func BenchmarkFig12(b *testing.B) {
+	opts := fig12BenchOptions()
+	for _, d := range registry.Fig12() {
+		d := d
+		b.Run(d.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				row, err := harness.Fig12RowFor(d, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !row.OK() {
+					b.Fatalf("%s failed verification", d.Name)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCheckerScalingOps measures RA-linearizability checking of random
+// RGA histories as the number of operations grows (E-SCALE).
+func BenchmarkCheckerScalingOps(b *testing.B) {
+	d, err := registry.Lookup("RGA")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, ops := range []int{4, 6, 8, 10, 12} {
+		ops := ops
+		b.Run(fmt.Sprintf("ops=%d", ops), func(b *testing.B) {
+			benchCheckHistories(b, d, harness.WorkloadConfig{
+				Seed: 3, Ops: ops, Replicas: 3, DeliveryProb: 40,
+			})
+		})
+	}
+}
+
+// BenchmarkCheckerScalingReplicas measures RA-linearizability checking of
+// random OR-Set histories as the number of replicas grows (E-SCALE).
+func BenchmarkCheckerScalingReplicas(b *testing.B) {
+	d, err := registry.Lookup("OR-Set")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, replicas := range []int{2, 3, 4, 6} {
+		replicas := replicas
+		b.Run(fmt.Sprintf("replicas=%d", replicas), func(b *testing.B) {
+			benchCheckHistories(b, d, harness.WorkloadConfig{
+				Seed: 3, Ops: 8, Replicas: replicas,
+				Elems: []string{"a", "b", "c"}, DeliveryProb: 40,
+			})
+		})
+	}
+}
+
+func benchCheckHistories(b *testing.B, d crdt.Descriptor, cfg harness.WorkloadConfig) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		h, err := harness.RunRandom(d, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res := core.CheckRA(h, d.Spec, d.CheckOptions()); !res.OK {
+			b.Fatalf("random history not RA-linearizable: %v", res.LastErr)
+		}
+	}
+}
+
+// BenchmarkConstructiveVsExhaustive is the ablation called out in DESIGN.md:
+// the constructive timestamp-order linearization of Theorem 4.6 versus a
+// purely exhaustive search over linear extensions, on identical RGA
+// histories.
+func BenchmarkConstructiveVsExhaustive(b *testing.B) {
+	d, err := registry.Lookup("RGA")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := harness.WorkloadConfig{Seed: 11, Ops: 9, Replicas: 3, DeliveryProb: 40}
+	histories := make([]*core.History, 12)
+	for i := range histories {
+		cfg.Seed = int64(100 + i)
+		h, err := harness.RunRandom(d, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		histories[i] = h
+	}
+	variants := []struct {
+		name string
+		opts core.CheckOptions
+	}{
+		{"constructive", core.CheckOptions{Strategies: []core.Strategy{core.StrategyTimestampOrder}}},
+		{"exhaustive", core.CheckOptions{Exhaustive: true, MaxExtensions: 500000}},
+	}
+	for _, v := range variants {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				h := histories[i%len(histories)]
+				if res := core.CheckRA(h, d.Spec, v.opts); !res.OK {
+					b.Fatalf("history not RA-linearizable under %s: %v", v.name, res.LastErr)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkProofObligations measures the executable proof-obligation checking
+// (the Boogie substitute of Section 6) for one operation-based and one
+// state-based CRDT.
+func BenchmarkProofObligations(b *testing.B) {
+	opts := verify.Options{Seed: 1, Trials: 5, Ops: 8, Replicas: 3, Elems: []string{"a", "b"}, MaxStates: 25}
+	opBased, _ := registry.Lookup("RGA")
+	stateBased, _ := registry.Lookup("Multi-Value Reg.")
+	b.Run("op-based/RGA", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if r := verify.CheckOpBased(opBased, opts); !r.OK() {
+				b.Fatal("obligations failed")
+			}
+		}
+	})
+	b.Run("state-based/MV-Register", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if r := verify.CheckStateBased(stateBased, opts); !r.OK() {
+				b.Fatal("obligations failed")
+			}
+		}
+	})
+}
+
+// BenchmarkRuntimeThroughput measures the raw simulator throughput (operations
+// plus full delivery) for a representative operation-based and state-based
+// CRDT, independent of any checking.
+func BenchmarkRuntimeThroughput(b *testing.B) {
+	for _, name := range []string{"RGA", "OR-Set", "PN-Counter", "LWW-Element Set"} {
+		d, err := registry.Lookup(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			cfg := harness.WorkloadConfig{Ops: 30, Replicas: 3, DeliveryProb: 30, FinalDelivery: true}
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = int64(i + 1)
+				if _, err := harness.RunRandom(d, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,65 @@
+// Command ralin-figs regenerates the worked figures of the paper as
+// machine-checked scenarios: Figure 2 (RGA conflict resolution), Figure 3
+// (the corresponding history), Figures 5a/5b (OR-Set vs the naive Set
+// specification and the query-update rewriting), the Section 3.3 client
+// reasoning exercise, Figure 8 (execution-order vs timestamp-order
+// linearizations), Figures 9 and 10 (compositionality), Figure 13 (the
+// operational semantics step by step) and Figure 14 (the addAt specification
+// separation).
+//
+// Usage:
+//
+//	ralin-figs            # run every experiment
+//	ralin-figs -fig 5a    # run a single experiment (2, 3, 5a, 5b, sec3.3, 8, 9, 10, 13, 14)
+//	ralin-figs -list      # list experiment identifiers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ralin/internal/harness"
+)
+
+func main() {
+	fig := flag.String("fig", "", "single figure to reproduce (for example \"5a\" or \"fig-5a\")")
+	list := flag.Bool("list", false, "list experiment identifiers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range harness.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var experiments []harness.Experiment
+	if *fig != "" {
+		id := *fig
+		if !strings.HasPrefix(id, "fig-") && !strings.HasPrefix(id, "sec-") {
+			id = "fig-" + id
+		}
+		e, err := harness.ExperimentByID(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ralin-figs:", err)
+			os.Exit(1)
+		}
+		experiments = []harness.Experiment{e}
+	} else {
+		experiments = harness.Experiments()
+	}
+
+	failed := 0
+	for _, e := range experiments {
+		fmt.Println(e)
+		if !e.OK {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "ralin-figs: %d experiment(s) did not reproduce\n", failed)
+		os.Exit(1)
+	}
+}

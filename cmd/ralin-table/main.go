@@ -1,0 +1,67 @@
+// Command ralin-table regenerates the Figure 12 table of the paper: every
+// CRDT implemented in this repository is run through the proof obligations of
+// the RA-linearizability methodology (Commutativity/Refinement for
+// operation-based types, the Appendix D properties for state-based ones) and
+// through a batch of random histories checked against its sequential
+// specification.
+//
+// Usage:
+//
+//	ralin-table [-trials N] [-ops N] [-replicas N] [-histories N] [-seed N] [-details]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ralin/internal/harness"
+	"ralin/internal/verify"
+)
+
+func main() {
+	trials := flag.Int("trials", 20, "random executions per CRDT for the proof obligations")
+	ops := flag.Int("ops", 10, "operations per random execution")
+	replicas := flag.Int("replicas", 3, "replicas per execution")
+	histories := flag.Int("histories", 25, "random histories checked for RA-linearizability per CRDT")
+	seed := flag.Int64("seed", 1, "workload seed")
+	details := flag.Bool("details", false, "print per-obligation details below the table")
+	flag.Parse()
+
+	opts := harness.Fig12Options{
+		Verify: verify.Options{
+			Seed:      *seed,
+			Trials:    *trials,
+			Ops:       *ops,
+			Replicas:  *replicas,
+			Elems:     []string{"a", "b", "c"},
+			MaxStates: 40,
+		},
+		HistoryTrials: *histories,
+		Workload: harness.WorkloadConfig{
+			Seed:         *seed,
+			Ops:          *ops,
+			Replicas:     *replicas,
+			Elems:        []string{"a", "b", "c"},
+			DeliveryProb: 40,
+		},
+	}
+	rows, err := harness.Fig12Table(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ralin-table:", err)
+		os.Exit(1)
+	}
+	fmt.Println("Figure 12 — CRDTs proved RA-linearizable and the class of linearizations used")
+	fmt.Println()
+	fmt.Print(harness.RenderFig12(rows))
+	if *details {
+		fmt.Println()
+		fmt.Print(harness.RenderFig12Details(rows))
+	}
+	for _, r := range rows {
+		if !r.OK() {
+			fmt.Fprintf(os.Stderr, "ralin-table: %s failed verification\n", r.Name)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Command ralin-verify runs the proof obligations of the RA-linearizability
+// methodology for a single CRDT and prints the per-obligation report: for
+// operation-based types the Commutativity and Refinement (or Refinement_ts)
+// conditions of Section 4, for state-based types the Prop1..Prop6 properties
+// and refinement conditions of Appendix D. It is the per-type view of what
+// cmd/ralin-table aggregates.
+//
+// Usage:
+//
+//	ralin-verify -crdt RGA [-trials N] [-ops N] [-replicas N] [-seed N]
+//	ralin-verify -all
+//	ralin-verify -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ralin/internal/crdt"
+	"ralin/internal/crdt/registry"
+	"ralin/internal/verify"
+)
+
+func main() {
+	name := flag.String("crdt", "RGA", "CRDT to verify (see -list)")
+	all := flag.Bool("all", false, "verify every registered CRDT")
+	trials := flag.Int("trials", 20, "random executions explored")
+	ops := flag.Int("ops", 10, "operations per execution")
+	replicas := flag.Int("replicas", 3, "replicas per execution")
+	seed := flag.Int64("seed", 1, "workload seed")
+	list := flag.Bool("list", false, "list the registered CRDTs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range registry.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	opts := verify.Options{
+		Seed:      *seed,
+		Trials:    *trials,
+		Ops:       *ops,
+		Replicas:  *replicas,
+		Elems:     []string{"a", "b", "c"},
+		MaxStates: 40,
+	}
+
+	var targets []crdt.Descriptor
+	if *all {
+		targets = registry.All()
+	} else {
+		d, err := registry.Lookup(*name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ralin-verify:", err)
+			os.Exit(1)
+		}
+		targets = []crdt.Descriptor{d}
+	}
+
+	failed := 0
+	for _, d := range targets {
+		var report verify.Report
+		if d.Class == crdt.StateBased {
+			report = verify.CheckStateBased(d, opts)
+		} else {
+			report = verify.CheckOpBased(d, opts)
+		}
+		fmt.Print(report)
+		if !report.OK() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "ralin-verify: %d CRDT(s) failed their proof obligations\n", failed)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,262 @@
+// Package clock provides the timing and identity primitives used by every
+// CRDT in this repository: replica identifiers, totally ordered timestamps
+// (with a distinguished ⊥ element), timestamp generators (per-object and
+// shared, as required by the ⊗ts composition of Section 5.3 of the paper),
+// version vectors (used by the Multi-Value Register), and a source of unique
+// operation identifiers.
+package clock
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ReplicaID identifies a replica of a CRDT object. Replica identifiers are
+// also used to break ties between timestamps generated with the same counter
+// value, which gives the strict total order assumed by the paper.
+type ReplicaID int
+
+// String renders the replica identifier as "r<N>".
+func (r ReplicaID) String() string { return fmt.Sprintf("r%d", r) }
+
+// Timestamp is a replica-tagged Lamport timestamp. The zero value is the
+// distinguished minimal element ⊥ used for operations that do not generate a
+// timestamp (for example RGA's remove).
+type Timestamp struct {
+	// Time is the logical clock value. Zero means ⊥.
+	Time uint64
+	// Replica is the replica that generated the timestamp. It is used only
+	// to break ties between equal Time values.
+	Replica ReplicaID
+}
+
+// Bottom is the minimal timestamp ⊥.
+var Bottom = Timestamp{}
+
+// IsBottom reports whether the timestamp is ⊥.
+func (t Timestamp) IsBottom() bool { return t.Time == 0 }
+
+// Less reports whether t < u in the strict total order on timestamps.
+// ⊥ is smaller than every non-⊥ timestamp and is not smaller than itself.
+func (t Timestamp) Less(u Timestamp) bool {
+	if t.IsBottom() {
+		return !u.IsBottom()
+	}
+	if u.IsBottom() {
+		return false
+	}
+	if t.Time != u.Time {
+		return t.Time < u.Time
+	}
+	return t.Replica < u.Replica
+}
+
+// Compare returns -1, 0 or +1 according to the total order on timestamps.
+func (t Timestamp) Compare(u Timestamp) int {
+	switch {
+	case t.Less(u):
+		return -1
+	case u.Less(t):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Max returns the larger of t and u.
+func (t Timestamp) Max(u Timestamp) Timestamp {
+	if t.Less(u) {
+		return u
+	}
+	return t
+}
+
+// String renders the timestamp as "⊥" or "<time>@r<replica>".
+func (t Timestamp) String() string {
+	if t.IsBottom() {
+		return "⊥"
+	}
+	return fmt.Sprintf("%d@%s", t.Time, t.Replica)
+}
+
+// MaxTimestamp returns the maximum of a set of timestamps, or ⊥ if the set is
+// empty.
+func MaxTimestamp(ts []Timestamp) Timestamp {
+	max := Bottom
+	for _, t := range ts {
+		max = max.Max(t)
+	}
+	return max
+}
+
+// Generator produces timestamps for operations. The operational semantics of
+// Figure 7 requires each freshly generated timestamp to be strictly larger
+// than every timestamp visible to the origin replica and globally unique.
+// Implementations in this package satisfy both properties by construction.
+type Generator interface {
+	// Next returns a fresh timestamp for an operation originating at replica r.
+	Next(r ReplicaID) Timestamp
+}
+
+// Counter is the standard timestamp generator: a monotonically increasing
+// counter tagged with the origin replica. A single Counter shared between
+// several objects implements the shared timestamp generator composition ⊗ts
+// of Section 5.3; a Counter per object implements the unrestricted
+// composition ⊗ of Section 5.1.
+type Counter struct {
+	mu   sync.Mutex
+	next uint64
+}
+
+// NewCounter returns a counter generator starting at 1 (so that the first
+// generated timestamp is distinct from ⊥).
+func NewCounter() *Counter { return &Counter{} }
+
+// Next returns the next timestamp for replica r.
+func (c *Counter) Next(r ReplicaID) Timestamp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.next++
+	return Timestamp{Time: c.next, Replica: r}
+}
+
+// Scripted is a timestamp generator that replays a fixed sequence of
+// timestamps. It is used to reconstruct the exact executions of the paper's
+// worked figures (for example Figure 8 and Figure 10, which rely on specific
+// timestamp orders).
+type Scripted struct {
+	mu     sync.Mutex
+	queue  []Timestamp
+	backup *Counter
+}
+
+// NewScripted returns a generator that yields the given timestamps in order
+// and falls back to a fresh counter once they are exhausted.
+func NewScripted(ts ...Timestamp) *Scripted {
+	return &Scripted{queue: append([]Timestamp(nil), ts...), backup: NewCounter()}
+}
+
+// Next returns the next scripted timestamp, or a counter-generated one when
+// the script is exhausted.
+func (s *Scripted) Next(r ReplicaID) Timestamp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.queue) > 0 {
+		t := s.queue[0]
+		s.queue = s.queue[1:]
+		return t
+	}
+	return s.backup.Next(r)
+}
+
+// IDSource produces unique operation identifiers (the "i" tag of operation
+// labels) and unique element identifiers (for example the identifiers the
+// OR-Set attaches to added elements).
+type IDSource struct {
+	mu   sync.Mutex
+	next uint64
+}
+
+// NewIDSource returns an identifier source starting at 1.
+func NewIDSource() *IDSource { return &IDSource{} }
+
+// Next returns a fresh unique identifier.
+func (s *IDSource) Next() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.next++
+	return s.next
+}
+
+// VersionVector maps replica identifiers to counters. Version vectors are the
+// conflict-detection metadata of the state-based Multi-Value Register
+// (Listing 7 / Appendix E.1).
+type VersionVector map[ReplicaID]uint64
+
+// NewVersionVector returns an empty version vector (the ⊥ of the vector
+// lattice: every component is zero).
+func NewVersionVector() VersionVector { return VersionVector{} }
+
+// Copy returns a deep copy of the vector.
+func (v VersionVector) Copy() VersionVector {
+	c := make(VersionVector, len(v))
+	for r, n := range v {
+		c[r] = n
+	}
+	return c
+}
+
+// Get returns the component for replica r (zero if absent).
+func (v VersionVector) Get(r ReplicaID) uint64 { return v[r] }
+
+// Set sets the component for replica r.
+func (v VersionVector) Set(r ReplicaID, n uint64) {
+	if n == 0 {
+		delete(v, r)
+		return
+	}
+	v[r] = n
+}
+
+// Increment increments the component for replica r and returns the vector.
+func (v VersionVector) Increment(r ReplicaID) VersionVector {
+	v[r]++
+	return v
+}
+
+// Leq reports whether v ≤ u component-wise.
+func (v VersionVector) Leq(u VersionVector) bool {
+	for r, n := range v {
+		if n > u[r] {
+			return false
+		}
+	}
+	return true
+}
+
+// Less reports whether v < u, that is v ≤ u and v ≠ u.
+func (v VersionVector) Less(u VersionVector) bool {
+	return v.Leq(u) && !u.Leq(v)
+}
+
+// Equal reports whether v and u have identical components.
+func (v VersionVector) Equal(u VersionVector) bool {
+	return v.Leq(u) && u.Leq(v)
+}
+
+// Concurrent reports whether v and u are incomparable in the component-wise
+// order.
+func (v VersionVector) Concurrent(u VersionVector) bool {
+	return !v.Leq(u) && !u.Leq(v)
+}
+
+// Merge returns the component-wise maximum of v and u (the least upper bound
+// in the vector lattice).
+func (v VersionVector) Merge(u VersionVector) VersionVector {
+	out := v.Copy()
+	for r, n := range u {
+		if n > out[r] {
+			out[r] = n
+		}
+	}
+	return out
+}
+
+// String renders the vector with replicas in increasing order, for stable
+// output in tests and figures.
+func (v VersionVector) String() string {
+	replicas := make([]ReplicaID, 0, len(v))
+	for r := range v {
+		replicas = append(replicas, r)
+	}
+	sort.Slice(replicas, func(i, j int) bool { return replicas[i] < replicas[j] })
+	s := "["
+	for i, r := range replicas {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s:%d", r, v[r])
+	}
+	return s + "]"
+}

@@ -1,0 +1,221 @@
+package clock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimestampBottom(t *testing.T) {
+	if !Bottom.IsBottom() {
+		t.Fatal("Bottom should report IsBottom")
+	}
+	if Bottom.Less(Bottom) {
+		t.Fatal("⊥ must not be less than itself")
+	}
+	ts := Timestamp{Time: 1, Replica: 0}
+	if !Bottom.Less(ts) {
+		t.Fatal("⊥ must be less than every non-⊥ timestamp")
+	}
+	if ts.Less(Bottom) {
+		t.Fatal("non-⊥ timestamp must not be less than ⊥")
+	}
+	if Bottom.String() != "⊥" {
+		t.Fatalf("unexpected string %q", Bottom.String())
+	}
+}
+
+func TestTimestampOrderTotal(t *testing.T) {
+	a := Timestamp{Time: 3, Replica: 1}
+	b := Timestamp{Time: 3, Replica: 2}
+	c := Timestamp{Time: 4, Replica: 0}
+	if !a.Less(b) {
+		t.Fatal("equal times must be ordered by replica")
+	}
+	if !b.Less(c) || !a.Less(c) {
+		t.Fatal("larger time must dominate")
+	}
+	if a.Compare(b) != -1 || b.Compare(a) != 1 || a.Compare(a) != 0 {
+		t.Fatal("Compare inconsistent with Less")
+	}
+	if a.Max(c) != c || c.Max(a) != c {
+		t.Fatal("Max must return the larger timestamp")
+	}
+}
+
+func TestTimestampOrderProperties(t *testing.T) {
+	gen := func(seed int64) Timestamp {
+		r := rand.New(rand.NewSource(seed))
+		ts := Timestamp{Time: uint64(r.Intn(5)), Replica: ReplicaID(r.Intn(4))}
+		if ts.IsBottom() {
+			// ⊥ is a single semantic value: canonicalise the replica tag.
+			return Bottom
+		}
+		return ts
+	}
+	// Antisymmetry and totality.
+	prop := func(s1, s2 int64) bool {
+		a, b := gen(s1), gen(s2)
+		if a == b {
+			return !a.Less(b) && !b.Less(a)
+		}
+		return a.Less(b) != b.Less(a)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Transitivity.
+	trans := func(s1, s2, s3 int64) bool {
+		a, b, c := gen(s1), gen(s2), gen(s3)
+		if a.Less(b) && b.Less(c) {
+			return a.Less(c)
+		}
+		return true
+	}
+	if err := quick.Check(trans, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxTimestamp(t *testing.T) {
+	if MaxTimestamp(nil) != Bottom {
+		t.Fatal("max of empty set must be ⊥")
+	}
+	ts := []Timestamp{{Time: 1, Replica: 2}, {Time: 5, Replica: 0}, {Time: 3, Replica: 1}}
+	if MaxTimestamp(ts) != (Timestamp{Time: 5, Replica: 0}) {
+		t.Fatal("wrong maximum")
+	}
+}
+
+func TestCounterMonotoneAndUnique(t *testing.T) {
+	c := NewCounter()
+	seen := map[Timestamp]bool{}
+	prev := Bottom
+	for i := 0; i < 100; i++ {
+		ts := c.Next(ReplicaID(i % 3))
+		if !prev.Less(ts) {
+			t.Fatalf("counter not monotone: %v then %v", prev, ts)
+		}
+		if seen[ts] {
+			t.Fatalf("duplicate timestamp %v", ts)
+		}
+		seen[ts] = true
+		prev = ts
+	}
+}
+
+func TestScriptedGenerator(t *testing.T) {
+	a := Timestamp{Time: 7, Replica: 1}
+	b := Timestamp{Time: 9, Replica: 2}
+	g := NewScripted(a, b)
+	if got := g.Next(0); got != a {
+		t.Fatalf("got %v want %v", got, a)
+	}
+	if got := g.Next(0); got != b {
+		t.Fatalf("got %v want %v", got, b)
+	}
+	// After the script is exhausted the generator falls back to a counter.
+	c1 := g.Next(3)
+	c2 := g.Next(3)
+	if !c1.Less(c2) {
+		t.Fatal("fallback counter must be monotone")
+	}
+}
+
+func TestIDSourceUnique(t *testing.T) {
+	s := NewIDSource()
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		id := s.Next()
+		if id == 0 {
+			t.Fatal("identifier zero is reserved")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestVersionVectorBasics(t *testing.T) {
+	v := NewVersionVector()
+	u := NewVersionVector()
+	if !v.Equal(u) || !v.Leq(u) || v.Less(u) {
+		t.Fatal("empty vectors must be equal")
+	}
+	v.Increment(1)
+	if !u.Less(v) || !u.Leq(v) || v.Leq(u) {
+		t.Fatal("incremented vector must dominate the empty one")
+	}
+	u.Increment(2)
+	if !v.Concurrent(u) {
+		t.Fatal("vectors incremented at different replicas must be concurrent")
+	}
+	m := v.Merge(u)
+	if !v.Leq(m) || !u.Leq(m) {
+		t.Fatal("merge must be an upper bound")
+	}
+	if m.Get(1) != 1 || m.Get(2) != 1 {
+		t.Fatal("merge must take component-wise maximum")
+	}
+}
+
+func TestVersionVectorCopyIndependent(t *testing.T) {
+	v := NewVersionVector()
+	v.Increment(1)
+	c := v.Copy()
+	c.Increment(1)
+	if v.Get(1) != 1 || c.Get(1) != 2 {
+		t.Fatal("Copy must be independent of the original")
+	}
+}
+
+func TestVersionVectorSetZeroDeletes(t *testing.T) {
+	v := NewVersionVector()
+	v.Set(3, 5)
+	v.Set(3, 0)
+	if len(v) != 0 {
+		t.Fatal("setting zero must remove the component")
+	}
+}
+
+func TestVersionVectorLatticeProperties(t *testing.T) {
+	gen := func(seed int64) VersionVector {
+		r := rand.New(rand.NewSource(seed))
+		v := NewVersionVector()
+		for i := 0; i < 4; i++ {
+			v.Set(ReplicaID(i), uint64(r.Intn(3)))
+		}
+		return v
+	}
+	// Merge is commutative, idempotent and an upper bound.
+	prop := func(s1, s2 int64) bool {
+		a, b := gen(s1), gen(s2)
+		m1 := a.Merge(b)
+		m2 := b.Merge(a)
+		return m1.Equal(m2) && a.Leq(m1) && b.Leq(m1) && a.Merge(a).Equal(a)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Merge is the least upper bound: any other upper bound dominates it.
+	lub := func(s1, s2, s3 int64) bool {
+		a, b, c := gen(s1), gen(s2), gen(s3)
+		if a.Leq(c) && b.Leq(c) {
+			return a.Merge(b).Leq(c)
+		}
+		return true
+	}
+	if err := quick.Check(lub, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVersionVectorString(t *testing.T) {
+	v := NewVersionVector()
+	v.Set(2, 1)
+	v.Set(1, 3)
+	if got := v.String(); got != "[r1:3 r2:1]" {
+		t.Fatalf("unexpected rendering %q", got)
+	}
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Strategy selects a constructive linearization to try before (or instead of)
+// the exhaustive search over linear extensions.
+type Strategy int
+
+const (
+	// StrategyExecutionOrder builds the execution-order linearization
+	// (Section 4.1): labels ordered as their generators executed.
+	StrategyExecutionOrder Strategy = iota
+	// StrategyTimestampOrder builds the timestamp-order linearization
+	// (Section 4.2): labels ordered by their (virtual) timestamps.
+	StrategyTimestampOrder
+)
+
+// String renders the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyExecutionOrder:
+		return "execution-order"
+	case StrategyTimestampOrder:
+		return "timestamp-order"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// CheckOptions configures the RA-linearizability checker.
+type CheckOptions struct {
+	// Rewriting is the query-update rewriting γ to apply before checking.
+	// A nil rewriting is the identity (only valid when the history has no
+	// query-update labels).
+	Rewriting Rewriting
+	// Strategies are constructive linearizations tried first, in order.
+	Strategies []Strategy
+	// Exhaustive enables the fallback search over all linear extensions of
+	// the visibility relation when the constructive strategies fail (or when
+	// no strategy is given).
+	Exhaustive bool
+	// MaxExtensions caps the number of linear extensions explored by the
+	// exhaustive search. Zero means no cap.
+	MaxExtensions int
+}
+
+// DefaultCheckOptions tries both constructive strategies and then falls back
+// to a bounded exhaustive search.
+func DefaultCheckOptions() CheckOptions {
+	return CheckOptions{
+		Strategies:    []Strategy{StrategyExecutionOrder, StrategyTimestampOrder},
+		Exhaustive:    true,
+		MaxExtensions: 200000,
+	}
+}
+
+// Result is the outcome of an RA-linearizability check.
+type Result struct {
+	// OK reports whether an RA-linearization was found.
+	OK bool
+	// Linearization is a witness RA-linearization of the rewritten history
+	// when OK is true.
+	Linearization []*Label
+	// Rewritten is the γ-rewriting of the checked history.
+	Rewritten *History
+	// Strategy records which constructive strategy produced the witness
+	// (nil when the witness came from the exhaustive search or none found).
+	Strategy *Strategy
+	// Tried is the number of candidate sequences examined.
+	Tried int
+	// Complete reports whether the verdict is definitive: either a witness
+	// was found, or every linear extension was examined and rejected. When
+	// false, the exhaustive search was truncated by MaxExtensions.
+	Complete bool
+	// LastErr explains why the most recent candidate was rejected.
+	LastErr error
+}
+
+// ErrNotRALinearizable is wrapped by errors reporting a definitive negative
+// verdict.
+var ErrNotRALinearizable = errors.New("history is not RA-linearizable")
+
+// IsRALinearization checks conditions (i)–(iii) of Definition 3.5 for the
+// sequence seq on the (already rewritten) history h with respect to spec.
+// It returns nil when seq is an RA-linearization of h.
+func IsRALinearization(h *History, seq []*Label, spec Spec) error {
+	// The definition applies to histories of queries and updates only.
+	for _, l := range h.Labels() {
+		if l.IsQueryUpdate() {
+			return fmt.Errorf("label %v is a query-update; apply a rewriting first", l)
+		}
+	}
+	// (i) seq is consistent with the visibility relation.
+	if err := h.ConsistentWithVis(seq); err != nil {
+		return fmt.Errorf("condition (i): %w", err)
+	}
+	// (ii) the projection of seq to updates is admitted by the specification.
+	updates := filterLabels(seq, (*Label).IsUpdate)
+	if !Admits(spec, updates) {
+		i := FirstRejected(spec, updates)
+		return fmt.Errorf("condition (ii): update projection rejected by %s at %v",
+			spec.Name(), updates[i])
+	}
+	// (iii) each query is justified by the visible updates in sequence order.
+	for _, q := range seq {
+		if !q.IsQuery() {
+			continue
+		}
+		visible := filterLabels(updates, func(u *Label) bool { return h.Vis(u.ID, q.ID) })
+		justification := append(append([]*Label(nil), visible...), q)
+		if !Admits(spec, justification) {
+			return fmt.Errorf("condition (iii): query %v not justified by its visible updates %s",
+				q, FormatLabels(visible))
+		}
+	}
+	return nil
+}
+
+// CheckRA checks whether the history h is RA-linearizable with respect to
+// spec (Definition 3.7): it applies the query-update rewriting, tries the
+// configured constructive strategies, and optionally searches all linear
+// extensions of the visibility relation.
+func CheckRA(h *History, spec Spec, opts CheckOptions) Result {
+	res := Result{}
+	rew, err := RewriteHistory(h, opts.Rewriting)
+	if err != nil {
+		res.LastErr = err
+		res.Complete = true
+		return res
+	}
+	res.Rewritten = rew.History
+	if !rew.History.IsAcyclic() {
+		res.LastErr = fmt.Errorf("%w: visibility relation is cyclic", ErrNotRALinearizable)
+		res.Complete = true
+		return res
+	}
+
+	try := func(seq []*Label) error {
+		res.Tried++
+		return IsRALinearization(rew.History, seq, spec)
+	}
+
+	for _, s := range opts.Strategies {
+		var seq []*Label
+		switch s {
+		case StrategyExecutionOrder:
+			seq = ExecutionOrderLinearization(rew.History)
+		case StrategyTimestampOrder:
+			seq = TimestampOrderLinearization(rew.History)
+		default:
+			continue
+		}
+		if err := try(seq); err == nil {
+			strategy := s
+			res.OK = true
+			res.Complete = true
+			res.Linearization = seq
+			res.Strategy = &strategy
+			return res
+		} else {
+			res.LastErr = err
+		}
+	}
+
+	if !opts.Exhaustive {
+		res.Complete = false
+		return res
+	}
+
+	found := false
+	var witness []*Label
+	_, truncated := LinearExtensions(rew.History, opts.MaxExtensions, func(seq []*Label) bool {
+		if err := try(seq); err == nil {
+			found = true
+			witness = seq
+			return false
+		} else {
+			res.LastErr = err
+		}
+		return true
+	})
+	if found {
+		res.OK = true
+		res.Complete = true
+		res.Linearization = witness
+		return res
+	}
+	res.Complete = !truncated
+	if res.Complete && res.LastErr != nil {
+		res.LastErr = fmt.Errorf("%w: %v", ErrNotRALinearizable, res.LastErr)
+	}
+	return res
+}
+
+// CheckStrongLinearizable checks a stricter criterion used for the Figure 5a
+// separation: no query-update rewriting is applied, and every query must be
+// justified by the full prefix of updates preceding it in the linearization
+// (not only the visible ones). This corresponds to the "standard definition
+// of linearizability ... assuming a standard Set specification" discussed in
+// Section 2.2, adapted to visibility-based histories.
+func CheckStrongLinearizable(h *History, spec Spec, maxExtensions int) Result {
+	res := Result{Rewritten: h}
+	if !h.IsAcyclic() {
+		res.Complete = true
+		res.LastErr = fmt.Errorf("visibility relation is cyclic")
+		return res
+	}
+	check := func(seq []*Label) error {
+		// The whole sequence, with query-updates treated as updates and
+		// queries evaluated against the full preceding prefix, must be
+		// admitted by the specification.
+		var prefixUpdates []*Label
+		for _, l := range seq {
+			if l.IsQuery() {
+				justification := append(append([]*Label(nil), prefixUpdates...), l)
+				if !Admits(spec, justification) {
+					return fmt.Errorf("query %v not justified by the preceding updates", l)
+				}
+				continue
+			}
+			prefixUpdates = append(prefixUpdates, l)
+			if !Admits(spec, prefixUpdates) {
+				return fmt.Errorf("update prefix rejected at %v", l)
+			}
+		}
+		return nil
+	}
+	found := false
+	var witness []*Label
+	_, truncated := LinearExtensions(h, maxExtensions, func(seq []*Label) bool {
+		res.Tried++
+		if err := check(seq); err == nil {
+			found = true
+			witness = seq
+			return false
+		} else {
+			res.LastErr = err
+		}
+		return true
+	})
+	if found {
+		res.OK = true
+		res.Complete = true
+		res.Linearization = witness
+		return res
+	}
+	res.Complete = !truncated
+	return res
+}

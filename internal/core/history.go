@@ -1,0 +1,301 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ralin/internal/clock"
+)
+
+// History is a pair (L, vis): a set of operation labels together with an
+// acyclic visibility relation between them (Section 3.1). The relation is
+// stored transitively closed, matching the operational semantics where
+// visibility is a strict partial order by construction.
+type History struct {
+	labels map[uint64]*Label
+	order  []uint64
+	// vis[a][b] holds when label a is visible to label b.
+	vis map[uint64]map[uint64]bool
+}
+
+// NewHistory returns an empty history.
+func NewHistory() *History {
+	return &History{
+		labels: make(map[uint64]*Label),
+		vis:    make(map[uint64]map[uint64]bool),
+	}
+}
+
+// Add inserts a label into the history. Adding a label with a duplicate
+// identifier is an error.
+func (h *History) Add(l *Label) error {
+	if l == nil {
+		return fmt.Errorf("history: nil label")
+	}
+	if _, ok := h.labels[l.ID]; ok {
+		return fmt.Errorf("history: duplicate label id %d", l.ID)
+	}
+	h.labels[l.ID] = l
+	h.order = append(h.order, l.ID)
+	return nil
+}
+
+// MustAdd is Add for construction code where a duplicate identifier is a
+// programming error.
+func (h *History) MustAdd(l *Label) *Label {
+	if err := h.Add(l); err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Label returns the label with the given identifier, or nil.
+func (h *History) Label(id uint64) *Label { return h.labels[id] }
+
+// Len returns the number of labels.
+func (h *History) Len() int { return len(h.order) }
+
+// Labels returns the labels in insertion order.
+func (h *History) Labels() []*Label {
+	out := make([]*Label, 0, len(h.order))
+	for _, id := range h.order {
+		out = append(out, h.labels[id])
+	}
+	return out
+}
+
+// AddVis records that the label with identifier from is visible to the label
+// with identifier to, and maintains transitive closure. Adding an edge that
+// would create a cycle is an error.
+func (h *History) AddVis(from, to uint64) error {
+	if from == to {
+		return fmt.Errorf("history: visibility edge %d -> %d is reflexive", from, to)
+	}
+	if _, ok := h.labels[from]; !ok {
+		return fmt.Errorf("history: unknown label %d in visibility edge", from)
+	}
+	if _, ok := h.labels[to]; !ok {
+		return fmt.Errorf("history: unknown label %d in visibility edge", to)
+	}
+	if h.Vis(to, from) {
+		return fmt.Errorf("history: visibility edge %d -> %d creates a cycle", from, to)
+	}
+	// Transitive closure: predecessors of from (and from itself) become
+	// visible to successors of to (and to itself).
+	preds := append(h.predecessorIDs(from), from)
+	succs := append(h.successorIDs(to), to)
+	for _, p := range preds {
+		for _, s := range succs {
+			if p == s {
+				continue
+			}
+			if h.vis[p] == nil {
+				h.vis[p] = make(map[uint64]bool)
+			}
+			h.vis[p][s] = true
+		}
+	}
+	return nil
+}
+
+// MustAddVis is AddVis for construction code.
+func (h *History) MustAddVis(from, to uint64) {
+	if err := h.AddVis(from, to); err != nil {
+		panic(err)
+	}
+}
+
+// Vis reports whether the label with identifier from is visible to the label
+// with identifier to.
+func (h *History) Vis(from, to uint64) bool {
+	return h.vis[from][to]
+}
+
+// Concurrent reports whether the two labels are concurrent (neither is
+// visible to the other), the relation ▷◁ of Section 4.1.
+func (h *History) Concurrent(a, b uint64) bool {
+	return a != b && !h.Vis(a, b) && !h.Vis(b, a)
+}
+
+func (h *History) predecessorIDs(id uint64) []uint64 {
+	var out []uint64
+	for from, tos := range h.vis {
+		if tos[id] {
+			out = append(out, from)
+		}
+	}
+	return out
+}
+
+func (h *History) successorIDs(id uint64) []uint64 {
+	var out []uint64
+	for to := range h.vis[id] {
+		out = append(out, to)
+	}
+	return out
+}
+
+// VisibleTo returns the labels visible to l (vis⁻¹(l)), in insertion order.
+func (h *History) VisibleTo(l *Label) []*Label {
+	var out []*Label
+	for _, id := range h.order {
+		if h.Vis(id, l.ID) {
+			out = append(out, h.labels[id])
+		}
+	}
+	return out
+}
+
+// SeenBy returns the labels that see l (vis(l)), in insertion order.
+func (h *History) SeenBy(l *Label) []*Label {
+	var out []*Label
+	for _, id := range h.order {
+		if h.Vis(l.ID, id) {
+			out = append(out, h.labels[id])
+		}
+	}
+	return out
+}
+
+// IsAcyclic reports whether the visibility relation is acyclic. Histories
+// produced by the operational semantics are always acyclic; histories of
+// object compositions (Section 5.1) may in principle contain cycles, and the
+// checker rejects them.
+func (h *History) IsAcyclic() bool {
+	for a, tos := range h.vis {
+		for b := range tos {
+			if h.vis[b][a] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the history (labels are cloned).
+func (h *History) Clone() *History {
+	c := NewHistory()
+	for _, id := range h.order {
+		c.MustAdd(h.labels[id].Clone())
+	}
+	for from, tos := range h.vis {
+		for to := range tos {
+			if c.vis[from] == nil {
+				c.vis[from] = make(map[uint64]bool)
+			}
+			c.vis[from][to] = true
+		}
+	}
+	return c
+}
+
+// Project returns the sub-history containing only the labels for which keep
+// returns true, with the visibility relation restricted accordingly.
+func (h *History) Project(keep func(*Label) bool) *History {
+	c := NewHistory()
+	for _, id := range h.order {
+		if keep(h.labels[id]) {
+			c.MustAdd(h.labels[id].Clone())
+		}
+	}
+	for from, tos := range h.vis {
+		if c.labels[from] == nil {
+			continue
+		}
+		for to := range tos {
+			if c.labels[to] == nil {
+				continue
+			}
+			if c.vis[from] == nil {
+				c.vis[from] = make(map[uint64]bool)
+			}
+			c.vis[from][to] = true
+		}
+	}
+	return c
+}
+
+// ProjectObject returns the sub-history of operations on the named object.
+func (h *History) ProjectObject(object string) *History {
+	return h.Project(func(l *Label) bool { return l.Object == object })
+}
+
+// Objects returns the distinct object names appearing in the history, sorted.
+func (h *History) Objects() []string {
+	set := map[string]bool{}
+	for _, l := range h.Labels() {
+		set[l.Object] = true
+	}
+	out := make([]string, 0, len(set))
+	for o := range set {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HistoryTimestamp returns ts_h(l): the label's own timestamp if it generated
+// one, and otherwise the maximal timestamp among the operations visible to it
+// (⊥ if none). This is the "virtual timestamp" of Section 4.2.
+func (h *History) HistoryTimestamp(l *Label) clock.Timestamp {
+	if !l.TS.IsBottom() {
+		return l.TS
+	}
+	// The visibility relation is transitively closed, so the maximum over the
+	// direct predecessors' own timestamps is the maximum over the whole past.
+	max := clock.Bottom
+	for _, p := range h.VisibleTo(l) {
+		max = max.Max(p.TS)
+	}
+	return max
+}
+
+// ConsistentWithVis reports whether the sequence seq (which must contain
+// exactly the labels of h) is consistent with the visibility relation:
+// vis ∪ seq is acyclic, which for a total order seq means no label is
+// ordered before one of its visibility predecessors.
+func (h *History) ConsistentWithVis(seq []*Label) error {
+	if len(seq) != h.Len() {
+		return fmt.Errorf("sequence has %d labels, history has %d", len(seq), h.Len())
+	}
+	pos := make(map[uint64]int, len(seq))
+	for i, l := range seq {
+		if h.labels[l.ID] == nil {
+			return fmt.Errorf("sequence label %v not in history", l)
+		}
+		if _, dup := pos[l.ID]; dup {
+			return fmt.Errorf("sequence repeats label %v", l)
+		}
+		pos[l.ID] = i
+	}
+	for from, tos := range h.vis {
+		for to := range tos {
+			if pos[from] > pos[to] {
+				return fmt.Errorf("sequence orders %v before %v against visibility",
+					h.labels[to], h.labels[from])
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the history: one line per label with its visibility
+// predecessors, in insertion order.
+func (h *History) String() string {
+	var b strings.Builder
+	for _, id := range h.order {
+		l := h.labels[id]
+		fmt.Fprintf(&b, "%-4d %s  (origin %s", l.ID, l, l.Origin)
+		preds := h.VisibleTo(l)
+		if len(preds) > 0 {
+			ids := make([]string, len(preds))
+			for i, p := range preds {
+				ids[i] = fmt.Sprintf("%d", p.ID)
+			}
+			fmt.Fprintf(&b, "; sees %s", strings.Join(ids, ","))
+		}
+		b.WriteString(")\n")
+	}
+	return b.String()
+}

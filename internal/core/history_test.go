@@ -1,0 +1,167 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ralin/internal/clock"
+)
+
+func mkLabel(id uint64, method string, kind Kind) *Label {
+	return &Label{ID: id, Method: method, Kind: kind, GenSeq: id}
+}
+
+func TestHistoryAddAndLookup(t *testing.T) {
+	h := NewHistory()
+	a := mkLabel(1, "add", KindUpdate)
+	if err := h.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Add(a); err == nil {
+		t.Fatal("duplicate identifier must be rejected")
+	}
+	if err := h.Add(nil); err == nil {
+		t.Fatal("nil label must be rejected")
+	}
+	if h.Label(1) != a || h.Label(2) != nil {
+		t.Fatal("Label lookup wrong")
+	}
+	if h.Len() != 1 {
+		t.Fatal("Len wrong")
+	}
+}
+
+func TestHistoryVisibilityClosure(t *testing.T) {
+	h := NewHistory()
+	for i := uint64(1); i <= 4; i++ {
+		h.MustAdd(mkLabel(i, "op", KindUpdate))
+	}
+	h.MustAddVis(1, 2)
+	h.MustAddVis(2, 3)
+	// Transitive closure: 1 must be visible to 3.
+	if !h.Vis(1, 3) {
+		t.Fatal("visibility must be transitively closed")
+	}
+	if h.Vis(3, 1) || h.Vis(1, 4) {
+		t.Fatal("unexpected visibility edges")
+	}
+	if !h.Concurrent(3, 4) || h.Concurrent(1, 3) || h.Concurrent(2, 2) {
+		t.Fatal("Concurrent wrong")
+	}
+	if !h.IsAcyclic() {
+		t.Fatal("history must be acyclic")
+	}
+	// Edges that would create cycles are rejected.
+	if err := h.AddVis(3, 1); err == nil {
+		t.Fatal("cycle must be rejected")
+	}
+	if err := h.AddVis(1, 1); err == nil {
+		t.Fatal("reflexive edge must be rejected")
+	}
+	if err := h.AddVis(1, 99); err == nil {
+		t.Fatal("unknown label must be rejected")
+	}
+}
+
+func TestHistoryVisibleToAndSeenBy(t *testing.T) {
+	h := NewHistory()
+	a := h.MustAdd(mkLabel(1, "a", KindUpdate))
+	b := h.MustAdd(mkLabel(2, "b", KindUpdate))
+	c := h.MustAdd(mkLabel(3, "c", KindQuery))
+	h.MustAddVis(a.ID, c.ID)
+	h.MustAddVis(b.ID, c.ID)
+	vt := h.VisibleTo(c)
+	if len(vt) != 2 || vt[0] != a || vt[1] != b {
+		t.Fatalf("VisibleTo wrong: %v", vt)
+	}
+	sb := h.SeenBy(a)
+	if len(sb) != 1 || sb[0] != c {
+		t.Fatalf("SeenBy wrong: %v", sb)
+	}
+}
+
+func TestHistoryCloneAndProject(t *testing.T) {
+	h := NewHistory()
+	a := h.MustAdd(&Label{ID: 1, Object: "o1", Method: "add", Kind: KindUpdate})
+	b := h.MustAdd(&Label{ID: 2, Object: "o2", Method: "add", Kind: KindUpdate})
+	c := h.MustAdd(&Label{ID: 3, Object: "o1", Method: "read", Kind: KindQuery})
+	h.MustAddVis(a.ID, c.ID)
+	h.MustAddVis(b.ID, c.ID)
+
+	clone := h.Clone()
+	if clone.Len() != 3 || !clone.Vis(1, 3) || !clone.Vis(2, 3) {
+		t.Fatal("clone lost structure")
+	}
+	clone.Label(1).Method = "mutated"
+	if h.Label(1).Method != "add" {
+		t.Fatal("clone must not alias the original labels")
+	}
+
+	p := h.ProjectObject("o1")
+	if p.Len() != 2 || p.Label(2) != nil || !p.Vis(1, 3) {
+		t.Fatal("projection wrong")
+	}
+	objs := h.Objects()
+	if len(objs) != 2 || objs[0] != "o1" || objs[1] != "o2" {
+		t.Fatalf("Objects wrong: %v", objs)
+	}
+}
+
+func TestHistoryTimestamp(t *testing.T) {
+	h := NewHistory()
+	a := h.MustAdd(&Label{ID: 1, Method: "addAfter", Kind: KindUpdate, TS: clock.Timestamp{Time: 1, Replica: 1}})
+	b := h.MustAdd(&Label{ID: 2, Method: "addAfter", Kind: KindUpdate, TS: clock.Timestamp{Time: 2, Replica: 2}})
+	r := h.MustAdd(&Label{ID: 3, Method: "read", Kind: KindQuery})
+	lonely := h.MustAdd(&Label{ID: 4, Method: "read", Kind: KindQuery})
+	h.MustAddVis(a.ID, r.ID)
+	h.MustAddVis(b.ID, r.ID)
+
+	if got := h.HistoryTimestamp(a); got != a.TS {
+		t.Fatalf("own timestamp must win, got %v", got)
+	}
+	if got := h.HistoryTimestamp(r); got != b.TS {
+		t.Fatalf("virtual timestamp must be the maximal visible one, got %v", got)
+	}
+	if got := h.HistoryTimestamp(lonely); !got.IsBottom() {
+		t.Fatalf("virtual timestamp with empty past must be ⊥, got %v", got)
+	}
+}
+
+func TestConsistentWithVis(t *testing.T) {
+	h := NewHistory()
+	a := h.MustAdd(mkLabel(1, "a", KindUpdate))
+	b := h.MustAdd(mkLabel(2, "b", KindUpdate))
+	c := h.MustAdd(mkLabel(3, "c", KindUpdate))
+	h.MustAddVis(a.ID, b.ID)
+
+	if err := h.ConsistentWithVis([]*Label{a, b, c}); err != nil {
+		t.Fatalf("valid order rejected: %v", err)
+	}
+	if err := h.ConsistentWithVis([]*Label{c, a, b}); err != nil {
+		t.Fatalf("valid order rejected: %v", err)
+	}
+	if err := h.ConsistentWithVis([]*Label{b, a, c}); err == nil {
+		t.Fatal("order against visibility must be rejected")
+	}
+	if err := h.ConsistentWithVis([]*Label{a, b}); err == nil {
+		t.Fatal("short sequence must be rejected")
+	}
+	if err := h.ConsistentWithVis([]*Label{a, a, b}); err == nil {
+		t.Fatal("repeated label must be rejected")
+	}
+	other := mkLabel(9, "x", KindUpdate)
+	if err := h.ConsistentWithVis([]*Label{a, b, other}); err == nil {
+		t.Fatal("foreign label must be rejected")
+	}
+}
+
+func TestHistoryString(t *testing.T) {
+	h := NewHistory()
+	a := h.MustAdd(&Label{ID: 1, Method: "add", Args: []Value{"x"}, Kind: KindUpdate, Origin: 1})
+	b := h.MustAdd(&Label{ID: 2, Method: "read", Ret: []string{"x"}, Kind: KindQuery, Origin: 2})
+	h.MustAddVis(a.ID, b.ID)
+	s := h.String()
+	if !strings.Contains(s, "add(x)") || !strings.Contains(s, "sees 1") {
+		t.Fatalf("unexpected rendering:\n%s", s)
+	}
+}

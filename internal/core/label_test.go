@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"ralin/internal/clock"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindQuery:       "query",
+		KindUpdate:      "update",
+		KindQueryUpdate: "query-update",
+		Kind(42):        "Kind(42)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestLabelString(t *testing.T) {
+	l := &Label{
+		ID:     1,
+		Object: "o1",
+		Method: "addAfter",
+		Args:   []Value{"a", "b"},
+		Ret:    "ok",
+		TS:     clock.Timestamp{Time: 3, Replica: 1},
+		Kind:   KindUpdate,
+	}
+	want := "o1.addAfter(a, b)[3@r1] => ok"
+	if got := l.String(); got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+	q := &Label{ID: 2, Method: "read", Ret: []string{"a", "b"}, Kind: KindQuery}
+	if got := q.String(); got != "read() => [a b]" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestLabelCloneIndependence(t *testing.T) {
+	l := &Label{ID: 1, Method: "add", Args: []Value{"a"}, Kind: KindUpdate}
+	c := l.Clone()
+	c.Args[0] = "b"
+	c.Method = "remove"
+	if l.Args[0] != "a" || l.Method != "add" {
+		t.Fatal("Clone must not alias the original label")
+	}
+}
+
+func TestLabelKindPredicates(t *testing.T) {
+	q := &Label{Kind: KindQuery}
+	u := &Label{Kind: KindUpdate}
+	qu := &Label{Kind: KindQueryUpdate}
+	if !q.IsQuery() || q.IsUpdate() || q.IsQueryUpdate() {
+		t.Fatal("query predicates wrong")
+	}
+	if !u.IsUpdate() || u.IsQuery() || u.IsQueryUpdate() {
+		t.Fatal("update predicates wrong")
+	}
+	if !qu.IsQueryUpdate() || qu.IsQuery() || qu.IsUpdate() {
+		t.Fatal("query-update predicates wrong")
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if !ValueEqual([]string{"a", "b"}, []string{"a", "b"}) {
+		t.Fatal("equal slices must compare equal")
+	}
+	if ValueEqual([]string{"a"}, []string{"b"}) {
+		t.Fatal("different slices must not compare equal")
+	}
+	if !ValueEqual(int64(3), int64(3)) || ValueEqual(int64(3), int64(4)) {
+		t.Fatal("integer equality wrong")
+	}
+	if !ValueEqual(nil, nil) {
+		t.Fatal("nil must equal nil")
+	}
+}
+
+func TestSortedSet(t *testing.T) {
+	got := SortedSet([]string{"b", "a", "b", "c", "a"})
+	want := []string{"a", "b", "c"}
+	if !ValueEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	if len(SortedSet(nil)) != 0 {
+		t.Fatal("empty input must give empty output")
+	}
+}
+
+func TestSortPairs(t *testing.T) {
+	ps := []Pair{{Elem: "b", ID: 1}, {Elem: "a", ID: 2}, {Elem: "a", ID: 1}}
+	SortPairs(ps)
+	want := []Pair{{Elem: "a", ID: 1}, {Elem: "a", ID: 2}, {Elem: "b", ID: 1}}
+	if !ValueEqual(ps, want) {
+		t.Fatalf("got %v want %v", ps, want)
+	}
+	if ps[0].String() != "a#1" {
+		t.Fatalf("unexpected pair rendering %q", ps[0].String())
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := []struct {
+		in   Value
+		want string
+	}{
+		{nil, "_"},
+		{"x", "x"},
+		{[]string{"a", "b"}, "[a b]"},
+		{int64(7), "7"},
+		{[]Pair{{Elem: "a", ID: 1}}, "[a#1]"},
+		{map[string]int{"b": 2, "a": 1}, "{a:1 b:2}"},
+	}
+	for _, c := range cases {
+		if got := FormatValue(c.in); got != c.want {
+			t.Errorf("FormatValue(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatLabels(t *testing.T) {
+	a := &Label{ID: 1, Method: "inc", Kind: KindUpdate}
+	b := &Label{ID: 2, Method: "read", Ret: int64(1), Kind: KindQuery}
+	if got := FormatLabels([]*Label{a, b}); got != "inc() · read() => 1" {
+		t.Fatalf("got %q", got)
+	}
+}

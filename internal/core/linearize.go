@@ -1,0 +1,108 @@
+package core
+
+import (
+	"sort"
+)
+
+// ExecutionOrderLinearization returns the labels of h ordered by the order in
+// which their generators executed at the origin replicas (Section 4.1). For
+// rewritten histories the query part of a query-update precedes its update
+// part, because RewriteHistory numbers them consecutively.
+func ExecutionOrderLinearization(h *History) []*Label {
+	seq := h.Labels()
+	sort.SliceStable(seq, func(i, j int) bool {
+		if seq[i].GenSeq != seq[j].GenSeq {
+			return seq[i].GenSeq < seq[j].GenSeq
+		}
+		return seq[i].ID < seq[j].ID
+	})
+	return seq
+}
+
+// TimestampOrderLinearization returns the labels of h ordered primarily by
+// their history timestamp ts_h (own timestamp, or the maximal visible one for
+// operations that do not generate timestamps) and secondarily by generator
+// execution order (Section 4.2).
+func TimestampOrderLinearization(h *History) []*Label {
+	seq := h.Labels()
+	sort.SliceStable(seq, func(i, j int) bool {
+		ti, tj := h.HistoryTimestamp(seq[i]), h.HistoryTimestamp(seq[j])
+		if c := ti.Compare(tj); c != 0 {
+			return c < 0
+		}
+		if seq[i].GenSeq != seq[j].GenSeq {
+			return seq[i].GenSeq < seq[j].GenSeq
+		}
+		return seq[i].ID < seq[j].ID
+	})
+	return seq
+}
+
+// LinearExtensions enumerates linear extensions of the visibility relation of
+// h (total orders of the labels consistent with visibility) and calls fn for
+// each. Enumeration stops when fn returns false or when limit extensions have
+// been produced (limit <= 0 means unlimited). It returns the number of
+// extensions produced and whether the enumeration was stopped early because
+// of the limit.
+func LinearExtensions(h *History, limit int, fn func(seq []*Label) bool) (produced int, truncated bool) {
+	labels := h.Labels()
+	n := len(labels)
+	// indegree[i] counts visibility predecessors of labels[i] not yet placed.
+	indegree := make(map[uint64]int, n)
+	for _, l := range labels {
+		indegree[l.ID] = len(h.VisibleTo(l))
+	}
+	placed := make([]*Label, 0, n)
+	used := make(map[uint64]bool, n)
+	stop := false
+
+	var rec func()
+	rec = func() {
+		if stop {
+			return
+		}
+		if len(placed) == n {
+			produced++
+			if !fn(append([]*Label(nil), placed...)) {
+				stop = true
+			}
+			if limit > 0 && produced >= limit {
+				truncated = true
+				stop = true
+			}
+			return
+		}
+		for _, l := range labels {
+			if used[l.ID] || indegree[l.ID] != 0 {
+				continue
+			}
+			used[l.ID] = true
+			placed = append(placed, l)
+			for _, s := range h.SeenBy(l) {
+				indegree[s.ID]--
+			}
+			rec()
+			for _, s := range h.SeenBy(l) {
+				indegree[s.ID]++
+			}
+			placed = placed[:len(placed)-1]
+			used[l.ID] = false
+			if stop {
+				return
+			}
+		}
+	}
+	rec()
+	return produced, truncated
+}
+
+// filterLabels returns the labels of seq satisfying keep, preserving order.
+func filterLabels(seq []*Label, keep func(*Label) bool) []*Label {
+	var out []*Label
+	for _, l := range seq {
+		if keep(l) {
+			out = append(out, l)
+		}
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package core
+
+import "fmt"
+
+// Rewriting is a query-update rewriting γ (Definition 3.7). It maps every
+// label to either one label (queries and updates, whose kind must be
+// preserved) or a pair of labels (query-updates, split into a query followed
+// by an update). Returned labels need not carry unique identifiers or
+// generator sequence numbers; RewriteHistory assigns fresh ones.
+type Rewriting interface {
+	// Rewrite maps a label to its γ-image: a slice of length one or two.
+	Rewrite(l *Label) ([]*Label, error)
+}
+
+// IdentityRewriting leaves every label unchanged. It is only applicable to
+// histories without query-update labels.
+type IdentityRewriting struct{}
+
+// Rewrite returns the label itself.
+func (IdentityRewriting) Rewrite(l *Label) ([]*Label, error) {
+	return []*Label{l.Clone()}, nil
+}
+
+// RewriteFunc adapts a function to the Rewriting interface.
+type RewriteFunc func(l *Label) ([]*Label, error)
+
+// Rewrite calls the function.
+func (f RewriteFunc) Rewrite(l *Label) ([]*Label, error) { return f(l) }
+
+// rewrittenPair records the γ-image of a label inside a rewritten history:
+// the query part and the update part (equal for singleton images).
+type rewrittenPair struct {
+	qry uint64
+	upd uint64
+}
+
+// RewrittenHistory is the γ-rewriting γ(h) of a history together with the
+// mapping from original label identifiers to the identifiers of their images.
+type RewrittenHistory struct {
+	// History is the rewritten history (L', vis').
+	History *History
+	// images maps each original label identifier to its query/update parts.
+	images map[uint64]rewrittenPair
+}
+
+// QueryPart returns the rewritten label playing the role qry(γ(ℓ)) for the
+// original label identifier id.
+func (r *RewrittenHistory) QueryPart(id uint64) *Label {
+	return r.History.Label(r.images[id].qry)
+}
+
+// UpdatePart returns the rewritten label playing the role upd(γ(ℓ)) for the
+// original label identifier id.
+func (r *RewrittenHistory) UpdatePart(id uint64) *Label {
+	return r.History.Label(r.images[id].upd)
+}
+
+// RewriteHistory builds the γ-rewriting of h following Definition 3.7:
+//
+//   - every label ℓ is replaced by γ(ℓ) (one or two labels);
+//   - for pairs (ℓ1, ℓ2), the query ℓ1 is ordered before the update ℓ2;
+//   - whenever (ℓ, ℓ') ∈ vis, (upd(γ(ℓ)), qry(γ(ℓ'))) ∈ vis'.
+//
+// Kinds are validated: queries map to queries, updates to updates, and
+// query-updates to a (query, update) pair.
+func RewriteHistory(h *History, g Rewriting) (*RewrittenHistory, error) {
+	if g == nil {
+		g = IdentityRewriting{}
+	}
+	out := &RewrittenHistory{History: NewHistory(), images: make(map[uint64]rewrittenPair)}
+	var nextID uint64
+	for _, l := range h.Labels() {
+		imgs, err := g.Rewrite(l)
+		if err != nil {
+			return nil, fmt.Errorf("rewrite %v: %w", l, err)
+		}
+		switch len(imgs) {
+		case 1:
+			img := imgs[0].Clone()
+			if l.IsQueryUpdate() {
+				return nil, fmt.Errorf("rewrite %v: query-update must map to a (query, update) pair", l)
+			}
+			if img.Kind != l.Kind {
+				return nil, fmt.Errorf("rewrite %v: image kind %v differs from original kind %v", l, img.Kind, l.Kind)
+			}
+			nextID++
+			img.ID = nextID
+			img.Origin = l.Origin
+			img.GenSeq = l.GenSeq * 2
+			if err := out.History.Add(img); err != nil {
+				return nil, err
+			}
+			out.images[l.ID] = rewrittenPair{qry: img.ID, upd: img.ID}
+		case 2:
+			if !l.IsQueryUpdate() {
+				return nil, fmt.Errorf("rewrite %v: only query-updates may map to pairs", l)
+			}
+			q, u := imgs[0].Clone(), imgs[1].Clone()
+			if !q.IsQuery() || !u.IsUpdate() {
+				return nil, fmt.Errorf("rewrite %v: pair must be (query, update), got (%v, %v)", l, q.Kind, u.Kind)
+			}
+			nextID++
+			q.ID = nextID
+			q.Origin = l.Origin
+			q.GenSeq = l.GenSeq * 2
+			nextID++
+			u.ID = nextID
+			u.Origin = l.Origin
+			u.GenSeq = l.GenSeq*2 + 1
+			if err := out.History.Add(q); err != nil {
+				return nil, err
+			}
+			if err := out.History.Add(u); err != nil {
+				return nil, err
+			}
+			if err := out.History.AddVis(q.ID, u.ID); err != nil {
+				return nil, err
+			}
+			out.images[l.ID] = rewrittenPair{qry: q.ID, upd: u.ID}
+		default:
+			return nil, fmt.Errorf("rewrite %v: image must have one or two labels, got %d", l, len(imgs))
+		}
+	}
+	// Transport the visibility relation: (ℓ, ℓ') ∈ vis becomes
+	// (upd(γ(ℓ)), qry(γ(ℓ'))) ∈ vis'.
+	for _, from := range h.Labels() {
+		for _, to := range h.Labels() {
+			if from.ID == to.ID || !h.Vis(from.ID, to.ID) {
+				continue
+			}
+			updFrom := out.images[from.ID].upd
+			qryTo := out.images[to.ID].qry
+			if out.History.Vis(updFrom, qryTo) {
+				continue
+			}
+			if err := out.History.AddVis(updFrom, qryTo); err != nil {
+				return nil, fmt.Errorf("rewrite visibility %v -> %v: %w", from, to, err)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// orSetLikeRewriting splits remove(a) ⇒ R into readIds(a) ⇒ R · remove(R),
+// mirroring Example 3.6.
+var orSetLikeRewriting = RewriteFunc(func(l *Label) ([]*Label, error) {
+	if l.Method != "remove" {
+		return []*Label{l.Clone()}, nil
+	}
+	q := l.Clone()
+	q.Method = "readIds"
+	q.Kind = KindQuery
+	u := l.Clone()
+	u.Method = "removeIds"
+	u.Args = []Value{l.Ret}
+	u.Ret = nil
+	u.Kind = KindUpdate
+	return []*Label{q, u}, nil
+})
+
+func TestIdentityRewriting(t *testing.T) {
+	h := NewHistory()
+	a := h.MustAdd(&Label{ID: 10, Method: "add", Kind: KindUpdate, GenSeq: 1})
+	b := h.MustAdd(&Label{ID: 20, Method: "read", Kind: KindQuery, GenSeq: 2})
+	h.MustAddVis(a.ID, b.ID)
+
+	rew, err := RewriteHistory(h, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rew.History.Len() != 2 {
+		t.Fatalf("expected 2 labels, got %d", rew.History.Len())
+	}
+	qa, ua := rew.QueryPart(a.ID), rew.UpdatePart(a.ID)
+	if qa != ua {
+		t.Fatal("singleton image must have equal query and update parts")
+	}
+	if !rew.History.Vis(rew.UpdatePart(a.ID).ID, rew.QueryPart(b.ID).ID) {
+		t.Fatal("visibility must be transported")
+	}
+}
+
+func TestIdentityRewritingRejectsQueryUpdates(t *testing.T) {
+	h := NewHistory()
+	h.MustAdd(&Label{ID: 1, Method: "remove", Kind: KindQueryUpdate})
+	if _, err := RewriteHistory(h, nil); err == nil {
+		t.Fatal("identity rewriting must reject query-update labels")
+	}
+}
+
+func TestQueryUpdateRewriting(t *testing.T) {
+	h := NewHistory()
+	add := h.MustAdd(&Label{ID: 1, Method: "add", Args: []Value{"a"}, Kind: KindUpdate, GenSeq: 1, Origin: 1})
+	rem := h.MustAdd(&Label{ID: 2, Method: "remove", Args: []Value{"a"}, Ret: []Pair{{Elem: "a", ID: 1}}, Kind: KindQueryUpdate, GenSeq: 2, Origin: 1})
+	read := h.MustAdd(&Label{ID: 3, Method: "read", Ret: []string{}, Kind: KindQuery, GenSeq: 3, Origin: 2})
+	h.MustAddVis(add.ID, rem.ID)
+	h.MustAddVis(rem.ID, read.ID)
+
+	rew, err := RewriteHistory(h, orSetLikeRewriting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rew.History.Len() != 4 {
+		t.Fatalf("expected 4 labels after splitting, got %d", rew.History.Len())
+	}
+	q, u := rew.QueryPart(rem.ID), rew.UpdatePart(rem.ID)
+	if q.Method != "readIds" || u.Method != "removeIds" {
+		t.Fatalf("unexpected split methods %q, %q", q.Method, u.Method)
+	}
+	if !rew.History.Vis(q.ID, u.ID) {
+		t.Fatal("query part must be visible to update part")
+	}
+	// The query part sees what the original saw; anything that saw the
+	// original must see the update part.
+	if !rew.History.Vis(rew.UpdatePart(add.ID).ID, q.ID) {
+		t.Fatal("add must be visible to the query part of remove")
+	}
+	if !rew.History.Vis(u.ID, rew.QueryPart(read.ID).ID) {
+		t.Fatal("update part of remove must be visible to the read")
+	}
+	// Origins are preserved and generator order keeps the split adjacent.
+	if q.Origin != rem.Origin || u.Origin != rem.Origin {
+		t.Fatal("origins must be preserved")
+	}
+	if q.GenSeq >= u.GenSeq {
+		t.Fatal("query part must precede update part in generation order")
+	}
+}
+
+func TestRewriteHistoryValidatesKinds(t *testing.T) {
+	badKind := RewriteFunc(func(l *Label) ([]*Label, error) {
+		c := l.Clone()
+		c.Kind = KindQuery
+		return []*Label{c}, nil
+	})
+	h := NewHistory()
+	h.MustAdd(&Label{ID: 1, Method: "add", Kind: KindUpdate})
+	if _, err := RewriteHistory(h, badKind); err == nil {
+		t.Fatal("kind-changing rewriting must be rejected")
+	}
+
+	badPair := RewriteFunc(func(l *Label) ([]*Label, error) {
+		return []*Label{l.Clone(), l.Clone()}, nil
+	})
+	h2 := NewHistory()
+	h2.MustAdd(&Label{ID: 1, Method: "add", Kind: KindUpdate})
+	if _, err := RewriteHistory(h2, badPair); err == nil {
+		t.Fatal("pair image of an update must be rejected")
+	}
+
+	badSplit := RewriteFunc(func(l *Label) ([]*Label, error) {
+		q := l.Clone()
+		q.Kind = KindUpdate
+		u := l.Clone()
+		u.Kind = KindUpdate
+		return []*Label{q, u}, nil
+	})
+	h3 := NewHistory()
+	h3.MustAdd(&Label{ID: 1, Method: "remove", Kind: KindQueryUpdate})
+	if _, err := RewriteHistory(h3, badSplit); err == nil {
+		t.Fatal("(update, update) split must be rejected")
+	}
+
+	erroring := RewriteFunc(func(l *Label) ([]*Label, error) {
+		return nil, fmt.Errorf("boom")
+	})
+	h4 := NewHistory()
+	h4.MustAdd(&Label{ID: 1, Method: "add", Kind: KindUpdate})
+	if _, err := RewriteHistory(h4, erroring); err == nil {
+		t.Fatal("rewriting errors must propagate")
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+// AbsState is an abstract state ϕ of a sequential specification.
+// Implementations are immutable from the checker's point of view: Step must
+// not modify its input state.
+type AbsState interface {
+	// CloneAbs returns an independent copy of the state.
+	CloneAbs() AbsState
+	// EqualAbs reports whether two abstract states are equal.
+	EqualAbs(AbsState) bool
+	// String renders the state for diagnostics and figures.
+	String() string
+}
+
+// Spec is an operational sequential specification (Definition 3.1, presented
+// operationally as in Section 3.2): a transition relation over abstract
+// states indexed by operation labels. Step returns the set of successor
+// states, which is empty when the label is not admitted in the given state
+// (precondition failure or mismatching return value) and may contain several
+// states for nondeterministic specifications such as Wooki's addBetween.
+type Spec interface {
+	// Name identifies the specification (for example "Spec(RGA)").
+	Name() string
+	// Init returns the initial abstract state ϕ0.
+	Init() AbsState
+	// Step applies label l in state phi and returns all possible successor
+	// states. It must not modify phi.
+	Step(phi AbsState, l *Label) []AbsState
+}
+
+// Admits reports whether the sequence of labels is admitted by the
+// specification, that is, whether the labels can be applied in order starting
+// from the initial state.
+func Admits(s Spec, seq []*Label) bool {
+	return len(StatesAfter(s, seq)) > 0
+}
+
+// StatesAfter returns the set of abstract states reachable by applying seq
+// from the initial state, with duplicates removed. An empty result means the
+// sequence is not admitted.
+func StatesAfter(s Spec, seq []*Label) []AbsState {
+	return statesFrom(s, []AbsState{s.Init()}, seq)
+}
+
+func statesFrom(s Spec, states []AbsState, seq []*Label) []AbsState {
+	for _, l := range seq {
+		var next []AbsState
+		for _, phi := range states {
+			next = append(next, s.Step(phi, l)...)
+		}
+		states = dedupStates(next)
+		if len(states) == 0 {
+			return nil
+		}
+	}
+	return states
+}
+
+func dedupStates(states []AbsState) []AbsState {
+	var out []AbsState
+	for _, s := range states {
+		dup := false
+		for _, t := range out {
+			if t.EqualAbs(s) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// FirstRejected returns the index of the first label of seq that cannot be
+// applied (following any nondeterministic branch), or -1 if the whole
+// sequence is admitted. It is a diagnostic helper used in error messages.
+func FirstRejected(s Spec, seq []*Label) int {
+	states := []AbsState{s.Init()}
+	for i, l := range seq {
+		var next []AbsState
+		for _, phi := range states {
+			next = append(next, s.Step(phi, l)...)
+		}
+		states = dedupStates(next)
+		if len(states) == 0 {
+			return i
+		}
+	}
+	return -1
+}

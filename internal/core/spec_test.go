@@ -1,0 +1,95 @@
+package core
+
+import "testing"
+
+func TestAdmitsCounter(t *testing.T) {
+	spec := counterSpec{}
+	seq := []*Label{
+		{ID: 1, Method: "inc", Kind: KindUpdate},
+		{ID: 2, Method: "inc", Kind: KindUpdate},
+		{ID: 3, Method: "dec", Kind: KindUpdate},
+		{ID: 4, Method: "read", Ret: int64(1), Kind: KindQuery},
+	}
+	if !Admits(spec, seq) {
+		t.Fatal("sequence must be admitted")
+	}
+	bad := append(append([]*Label(nil), seq[:3]...), &Label{ID: 5, Method: "read", Ret: int64(7), Kind: KindQuery})
+	if Admits(spec, bad) {
+		t.Fatal("wrong read value must be rejected")
+	}
+	if idx := FirstRejected(spec, bad); idx != 3 {
+		t.Fatalf("FirstRejected = %d, want 3", idx)
+	}
+	if idx := FirstRejected(spec, seq); idx != -1 {
+		t.Fatalf("FirstRejected on admitted sequence = %d, want -1", idx)
+	}
+}
+
+func TestAdmitsEmptySequence(t *testing.T) {
+	if !Admits(counterSpec{}, nil) {
+		t.Fatal("empty sequence must be admitted")
+	}
+	states := StatesAfter(counterSpec{}, nil)
+	if len(states) != 1 || !states[0].EqualAbs(counterState(0)) {
+		t.Fatal("empty sequence must yield the initial state")
+	}
+}
+
+func TestAdmitsUnknownMethod(t *testing.T) {
+	if Admits(counterSpec{}, []*Label{{ID: 1, Method: "frobnicate"}}) {
+		t.Fatal("unknown method must be rejected")
+	}
+}
+
+func TestNondeterministicSpecFollowsAllBranches(t *testing.T) {
+	spec := choiceSpec{}
+	// After flip, the state is 1 or 2; a read of either value must be
+	// admitted, a read of 3 must not.
+	base := []*Label{{ID: 1, Method: "flip", Kind: KindUpdate}}
+	for _, v := range []int64{1, 2} {
+		seq := append(append([]*Label(nil), base...), &Label{ID: 2, Method: "read", Ret: v, Kind: KindQuery})
+		if !Admits(spec, seq) {
+			t.Fatalf("read %d must be admitted", v)
+		}
+	}
+	seq := append(append([]*Label(nil), base...), &Label{ID: 2, Method: "read", Ret: int64(3), Kind: KindQuery})
+	if Admits(spec, seq) {
+		t.Fatal("read 3 must be rejected")
+	}
+	// Both branches survive as reachable states.
+	states := StatesAfter(spec, base)
+	if len(states) != 2 {
+		t.Fatalf("expected 2 reachable states, got %d", len(states))
+	}
+}
+
+func TestStatesAfterDeduplicates(t *testing.T) {
+	spec := choiceSpec{}
+	seq := []*Label{
+		{ID: 1, Method: "flip", Kind: KindUpdate},
+		{ID: 2, Method: "flip", Kind: KindUpdate},
+	}
+	states := StatesAfter(spec, seq)
+	// Two flips from two branches give four successor states, but only the
+	// two distinct values must remain.
+	if len(states) != 2 {
+		t.Fatalf("expected deduplicated states, got %d", len(states))
+	}
+}
+
+func TestSetSpec(t *testing.T) {
+	spec := setSpec{}
+	seq := []*Label{
+		{ID: 1, Method: "add", Args: []Value{"a"}, Kind: KindUpdate},
+		{ID: 2, Method: "add", Args: []Value{"b"}, Kind: KindUpdate},
+		{ID: 3, Method: "remove", Args: []Value{"a"}, Kind: KindUpdate},
+		{ID: 4, Method: "read", Ret: []string{"b"}, Kind: KindQuery},
+	}
+	if !Admits(spec, seq) {
+		t.Fatal("set sequence must be admitted")
+	}
+	seq[3].Ret = []string{"a", "b"}
+	if Admits(spec, seq) {
+		t.Fatal("stale read must be rejected")
+	}
+}

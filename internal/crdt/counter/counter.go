@@ -1,0 +1,103 @@
+// Package counter implements the operation-based Counter of Listing 3
+// (Appendix B.1): inc and dec produce effectors that add or subtract one,
+// read returns the local value. The Counter is RA-linearizable with respect
+// to Spec(Counter) using execution-order linearizations (Figure 12).
+package counter
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ralin/internal/clock"
+	"ralin/internal/core"
+	"ralin/internal/crdt"
+	"ralin/internal/runtime"
+	"ralin/internal/spec"
+)
+
+// State is the payload of the operation-based counter: a single integer.
+type State int64
+
+// CloneState returns the state itself (integers are immutable).
+func (s State) CloneState() runtime.State { return s }
+
+// EqualState reports integer equality.
+func (s State) EqualState(o runtime.State) bool {
+	c, ok := o.(State)
+	return ok && c == s
+}
+
+// String renders the counter value.
+func (s State) String() string { return fmt.Sprintf("%d", int64(s)) }
+
+// Type is the operation-based counter CRDT.
+type Type struct{}
+
+// Name returns "Counter".
+func (Type) Name() string { return "Counter" }
+
+// Methods lists inc, dec and read.
+func (Type) Methods() []runtime.MethodInfo {
+	return []runtime.MethodInfo{
+		{Name: "inc", Kind: core.KindUpdate},
+		{Name: "dec", Kind: core.KindUpdate},
+		{Name: "read", Kind: core.KindQuery},
+	}
+}
+
+// Init returns the zero counter.
+func (Type) Init() runtime.State { return State(0) }
+
+// Generate implements the generators of Listing 3.
+func (Type) Generate(s runtime.State, method string, args []core.Value, ts clock.Timestamp) (core.Value, runtime.Effector, error) {
+	st, ok := s.(State)
+	if !ok {
+		return nil, nil, fmt.Errorf("counter: unexpected state %T", s)
+	}
+	switch method {
+	case "inc":
+		return nil, runtime.EffectorFunc{Name: "eff-inc", F: func(x runtime.State) runtime.State {
+			return x.(State) + 1
+		}}, nil
+	case "dec":
+		return nil, runtime.EffectorFunc{Name: "eff-dec", F: func(x runtime.State) runtime.State {
+			return x.(State) - 1
+		}}, nil
+	case "read":
+		return int64(st), nil, nil
+	default:
+		return nil, nil, fmt.Errorf("counter: unknown method %q", method)
+	}
+}
+
+// Abs is the refinement mapping: a counter state is its own specification
+// state.
+func Abs(s runtime.State) core.AbsState { return spec.CounterState(s.(State)) }
+
+// RandomOp performs one random counter operation.
+func RandomOp(rng *rand.Rand, sys crdt.Invoker, elems []string) (*core.Label, error) {
+	r := crdt.PickReplica(rng, sys)
+	switch rng.Intn(3) {
+	case 0:
+		return sys.Invoke(r, "inc")
+	case 1:
+		return sys.Invoke(r, "dec")
+	default:
+		return sys.Invoke(r, "read")
+	}
+}
+
+// Descriptor describes the operation-based counter for the harnesses.
+func Descriptor() crdt.Descriptor {
+	return crdt.Descriptor{
+		Name:     "Counter",
+		Source:   "Shapiro et al. 2011",
+		Class:    crdt.OpBased,
+		Lin:      crdt.ExecutionOrder,
+		InFig12:  true,
+		OpType:   Type{},
+		Spec:     spec.Counter{},
+		Abs:      Abs,
+		RandomOp: RandomOp,
+	}
+}

@@ -1,0 +1,232 @@
+// Package crdt defines the descriptor through which every CRDT implementation
+// in this repository exposes the artefacts needed by the paper's methodology:
+// the executable object type (operation-based or state-based), the sequential
+// specification, the query-update rewriting γ, the refinement mapping abs, the
+// timestamps stored in a state (for Refinement_ts), the linearization class of
+// Figure 12, and — for state-based types — the Appendix D proof artefacts
+// (local effectors, argument orders, freshness predicates).
+//
+// The concrete data types live in the sub-packages (counter, pncounter,
+// lwwreg, mvreg, lwwset, twopset, orset, rga, wooki); the registry package
+// gathers their descriptors into the Figure 12 table.
+package crdt
+
+import (
+	"math/rand"
+
+	"ralin/internal/clock"
+	"ralin/internal/core"
+	"ralin/internal/runtime"
+)
+
+// Class says whether a CRDT is operation-based or state-based (the "Imp."
+// column of Figure 12).
+type Class int
+
+const (
+	// OpBased marks operation-based CRDTs (replicas exchange effectors).
+	OpBased Class = iota
+	// StateBased marks state-based CRDTs (replicas exchange states).
+	StateBased
+)
+
+// String renders the class using the paper's abbreviations.
+func (c Class) String() string {
+	switch c {
+	case OpBased:
+		return "OB"
+	case StateBased:
+		return "SB"
+	default:
+		return "?"
+	}
+}
+
+// LinClass is the class of linearizations used in the RA-linearizability
+// proof (the "Lin." column of Figure 12).
+type LinClass int
+
+const (
+	// ExecutionOrder: operations are linearized in the order their
+	// generators executed (Section 4.1).
+	ExecutionOrder LinClass = iota
+	// TimestampOrder: operations are linearized by their (virtual)
+	// timestamps (Section 4.2).
+	TimestampOrder
+)
+
+// String renders the linearization class using the paper's abbreviations.
+func (c LinClass) String() string {
+	switch c {
+	case ExecutionOrder:
+		return "EO"
+	case TimestampOrder:
+		return "TO"
+	default:
+		return "?"
+	}
+}
+
+// Strategy returns the corresponding constructive checker strategy.
+func (c LinClass) Strategy() core.Strategy {
+	if c == TimestampOrder {
+		return core.StrategyTimestampOrder
+	}
+	return core.StrategyExecutionOrder
+}
+
+// EffClass classifies the local effectors of a state-based CRDT following
+// Appendix D.3–D.5.
+type EffClass int
+
+const (
+	// UniquelyIdentified: every local effector has a unique argument and the
+	// arguments carry a partial order consistent with visibility
+	// (MV-Register, LWW-Element-Set).
+	UniquelyIdentified EffClass = iota
+	// Cumulative: arguments coincide exactly for operations with the same
+	// method, arguments, return value and origin replica (PN-Counter).
+	Cumulative
+	// Idempotent: arguments coincide exactly for operations with the same
+	// method, arguments and return value (2P-Set).
+	Idempotent
+)
+
+// String renders the effector class.
+func (c EffClass) String() string {
+	switch c {
+	case UniquelyIdentified:
+		return "uniquely-identified"
+	case Cumulative:
+		return "cumulative"
+	case Idempotent:
+		return "idempotent"
+	default:
+		return "?"
+	}
+}
+
+// SBProofs bundles the Appendix D proof artefacts of a state-based CRDT.
+// They are consumed by the verify package to check Prop1..Prop6.
+type SBProofs struct {
+	// EffClass selects which property set applies.
+	EffClass EffClass
+	// LocalApply applies the "local effector" of label l (a proof artefact,
+	// not part of the state-based semantics) to state s and returns the new
+	// state without modifying s.
+	LocalApply func(s runtime.State, l *core.Label) runtime.State
+	// ArgEqual reports whether two labels carry the same local-effector
+	// argument.
+	ArgEqual func(a, b *core.Label) bool
+	// ArgLess is the strict partial order on local-effector arguments
+	// (uniquely-identified class only; nil otherwise).
+	ArgLess func(a, b *core.Label) bool
+	// Fresh is the predicate P1 (uniquely-identified class: the argument is
+	// not dominated by anything in the state) or P2 (cumulative and
+	// idempotent classes: the argument has not been incorporated into the
+	// state yet).
+	Fresh func(s runtime.State, l *core.Label) bool
+}
+
+// Invoker is the common surface of runtime.System and runtime.SBSystem used
+// by workload generators.
+type Invoker interface {
+	// Replicas lists the replica identifiers.
+	Replicas() []clock.ReplicaID
+	// ReplicaState returns a copy of a replica's state.
+	ReplicaState(r clock.ReplicaID) runtime.State
+	// Invoke performs one operation at a replica.
+	Invoke(r clock.ReplicaID, method string, args ...core.Value) (*core.Label, error)
+}
+
+// Descriptor describes one CRDT implementation and everything the checking
+// and verification harnesses need to know about it.
+type Descriptor struct {
+	// Name is the data type name as it appears in Figure 12.
+	Name string
+	// Source cites the origin of the algorithm (the reference in Figure 12).
+	Source string
+	// Class is operation-based or state-based.
+	Class Class
+	// Lin is the linearization class used in the proof.
+	Lin LinClass
+	// InFig12 reports whether the type is one of the nine rows of Figure 12
+	// (the RGA addAt variant of Appendix C is not).
+	InFig12 bool
+
+	// OpType is the operation-based implementation (nil for state-based
+	// types).
+	OpType runtime.OpType
+	// SBType is the state-based implementation (nil for operation-based
+	// types).
+	SBType runtime.SBType
+
+	// Spec is the sequential specification used for RA-linearizability.
+	Spec core.Spec
+	// Rewriting is the query-update rewriting γ (nil means identity).
+	Rewriting core.Rewriting
+	// Abs is the refinement mapping from replica states to specification
+	// states.
+	Abs func(runtime.State) core.AbsState
+	// StateTimestamps lists the timestamps stored in a replica state; it is
+	// required by Refinement_ts and may be nil for types proved with plain
+	// Refinement.
+	StateTimestamps func(runtime.State) []clock.Timestamp
+
+	// RandomOp performs one randomly chosen, precondition-respecting
+	// operation on the given system and returns its label. It is the
+	// workload generator used by the random-history experiments.
+	RandomOp func(rng *rand.Rand, sys Invoker, elems []string) (*core.Label, error)
+
+	// SB carries the Appendix D proof artefacts (state-based types only).
+	SB *SBProofs
+}
+
+// NewOpSystem builds an operation-based deployment of the described type.
+// It panics when called on a state-based descriptor.
+func (d Descriptor) NewOpSystem(cfg runtime.Config) *runtime.System {
+	if d.OpType == nil {
+		panic("crdt: " + d.Name + " is not operation-based")
+	}
+	return runtime.NewSystem(d.OpType, cfg)
+}
+
+// NewSBSystem builds a state-based deployment of the described type. It
+// panics when called on an operation-based descriptor.
+func (d Descriptor) NewSBSystem(cfg runtime.Config) *runtime.SBSystem {
+	if d.SBType == nil {
+		panic("crdt: " + d.Name + " is not state-based")
+	}
+	return runtime.NewSBSystem(d.SBType, cfg)
+}
+
+// CheckOptions returns checker options tailored to the descriptor: its
+// rewriting, its designated linearization strategy first, the other strategy
+// second, and a bounded exhaustive fallback.
+func (d Descriptor) CheckOptions() core.CheckOptions {
+	first := d.Lin.Strategy()
+	second := core.StrategyTimestampOrder
+	if first == core.StrategyTimestampOrder {
+		second = core.StrategyExecutionOrder
+	}
+	return core.CheckOptions{
+		Rewriting:     d.Rewriting,
+		Strategies:    []core.Strategy{first, second},
+		Exhaustive:    true,
+		MaxExtensions: 200000,
+	}
+}
+
+// PickReplica returns a uniformly chosen replica of the system.
+func PickReplica(rng *rand.Rand, sys Invoker) clock.ReplicaID {
+	rs := sys.Replicas()
+	return rs[rng.Intn(len(rs))]
+}
+
+// PickElem returns a uniformly chosen element of the alphabet.
+func PickElem(rng *rand.Rand, elems []string) string {
+	if len(elems) == 0 {
+		return "x"
+	}
+	return elems[rng.Intn(len(elems))]
+}

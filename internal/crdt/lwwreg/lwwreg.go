@@ -1,0 +1,124 @@
+// Package lwwreg implements the operation-based Last-Writer-Wins Register of
+// Listing 4 (Appendix B.2): every write carries a fresh timestamp and a
+// replica keeps the value with the largest timestamp it has seen. The
+// LWW-Register is RA-linearizable with respect to Spec(Reg) using
+// timestamp-order linearizations (Figure 12).
+package lwwreg
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ralin/internal/clock"
+	"ralin/internal/core"
+	"ralin/internal/crdt"
+	"ralin/internal/runtime"
+	"ralin/internal/spec"
+)
+
+// State is the payload: the current value and the timestamp that wrote it.
+type State struct {
+	Val string
+	TS  clock.Timestamp
+}
+
+// CloneState returns the state itself (it is a value type).
+func (s State) CloneState() runtime.State { return s }
+
+// EqualState reports equality of value and timestamp.
+func (s State) EqualState(o runtime.State) bool {
+	t, ok := o.(State)
+	return ok && s == t
+}
+
+// String renders the value and its timestamp.
+func (s State) String() string { return fmt.Sprintf("%q@%s", s.Val, s.TS) }
+
+// Type is the operation-based LWW-Register CRDT.
+type Type struct{}
+
+// Name returns "LWW-Register".
+func (Type) Name() string { return "LWW-Register" }
+
+// Methods lists write and read.
+func (Type) Methods() []runtime.MethodInfo {
+	return []runtime.MethodInfo{
+		{Name: "write", Kind: core.KindUpdate, GeneratesTimestamp: true},
+		{Name: "read", Kind: core.KindQuery},
+	}
+}
+
+// Init returns the unwritten register (empty value, ⊥ timestamp).
+func (Type) Init() runtime.State { return State{} }
+
+// Generate implements the generators of Listing 4. The effector of
+// write(a) with timestamp ts installs (a, ts) only when ts is newer than the
+// timestamp held by the receiving replica.
+func (Type) Generate(s runtime.State, method string, args []core.Value, ts clock.Timestamp) (core.Value, runtime.Effector, error) {
+	st, ok := s.(State)
+	if !ok {
+		return nil, nil, fmt.Errorf("lwwreg: unexpected state %T", s)
+	}
+	switch method {
+	case "write":
+		if len(args) != 1 {
+			return nil, nil, fmt.Errorf("lwwreg: write expects one argument")
+		}
+		v, ok := args[0].(string)
+		if !ok {
+			return nil, nil, fmt.Errorf("lwwreg: write expects a string, got %T", args[0])
+		}
+		eff := runtime.EffectorFunc{
+			Name: fmt.Sprintf("eff-write(%s,%s)", v, ts),
+			F: func(x runtime.State) runtime.State {
+				cur := x.(State)
+				if cur.TS.Less(ts) {
+					return State{Val: v, TS: ts}
+				}
+				return cur
+			},
+		}
+		return nil, eff, nil
+	case "read":
+		return st.Val, nil, nil
+	default:
+		return nil, nil, fmt.Errorf("lwwreg: unknown method %q", method)
+	}
+}
+
+// Abs is the refinement mapping: the register's current value.
+func Abs(s runtime.State) core.AbsState { return spec.RegisterState(s.(State).Val) }
+
+// StateTimestamps returns the timestamp stored in the state (Refinement_ts).
+func StateTimestamps(s runtime.State) []clock.Timestamp {
+	st := s.(State)
+	if st.TS.IsBottom() {
+		return nil
+	}
+	return []clock.Timestamp{st.TS}
+}
+
+// RandomOp performs one random register operation.
+func RandomOp(rng *rand.Rand, sys crdt.Invoker, elems []string) (*core.Label, error) {
+	r := crdt.PickReplica(rng, sys)
+	if rng.Intn(2) == 0 {
+		return sys.Invoke(r, "write", crdt.PickElem(rng, elems))
+	}
+	return sys.Invoke(r, "read")
+}
+
+// Descriptor describes the LWW-Register for the harnesses.
+func Descriptor() crdt.Descriptor {
+	return crdt.Descriptor{
+		Name:            "LWW-Register",
+		Source:          "Johnson and Thomas 1975",
+		Class:           crdt.OpBased,
+		Lin:             crdt.TimestampOrder,
+		InFig12:         true,
+		OpType:          Type{},
+		Spec:            spec.Register{},
+		Abs:             Abs,
+		StateTimestamps: StateTimestamps,
+		RandomOp:        RandomOp,
+	}
+}

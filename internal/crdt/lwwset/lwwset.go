@@ -1,0 +1,271 @@
+// Package lwwset implements the state-based Last-Writer-Wins Element Set of
+// Listing 8 (Appendix E.2): adds and removes are tagged with timestamps and
+// an element is present when its latest add is newer than every remove of it.
+// The LWW-Element-Set is RA-linearizable with respect to Spec(Set) using
+// timestamp-order linearizations (Figure 12); its local effectors fall in the
+// "uniquely-identified" class of Appendix D.3.
+package lwwset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"ralin/internal/clock"
+	"ralin/internal/core"
+	"ralin/internal/crdt"
+	"ralin/internal/runtime"
+	"ralin/internal/spec"
+)
+
+// Tagged is an element tagged with the timestamp of the add or remove that
+// produced it.
+type Tagged struct {
+	Elem string
+	TS   clock.Timestamp
+}
+
+// State is the payload: the add set A and the remove set R.
+type State struct {
+	Adds    map[Tagged]bool
+	Removes map[Tagged]bool
+}
+
+// NewState returns the empty LWW-Element-Set.
+func NewState() State {
+	return State{Adds: map[Tagged]bool{}, Removes: map[Tagged]bool{}}
+}
+
+// CloneState deep-copies both sets.
+func (s State) CloneState() runtime.State {
+	c := NewState()
+	for t := range s.Adds {
+		c.Adds[t] = true
+	}
+	for t := range s.Removes {
+		c.Removes[t] = true
+	}
+	return c
+}
+
+// EqualState reports equality of both sets.
+func (s State) EqualState(o runtime.State) bool {
+	t, ok := o.(State)
+	if !ok || len(s.Adds) != len(t.Adds) || len(s.Removes) != len(t.Removes) {
+		return false
+	}
+	for x := range s.Adds {
+		if !t.Adds[x] {
+			return false
+		}
+	}
+	for x := range s.Removes {
+		if !t.Removes[x] {
+			return false
+		}
+	}
+	return true
+}
+
+// Values returns the visible elements: those with an add newer than every
+// remove of the same element.
+func (s State) Values() []string {
+	var out []string
+	for a := range s.Adds {
+		visible := true
+		for r := range s.Removes {
+			if r.Elem == a.Elem && !r.TS.Less(a.TS) {
+				visible = false
+				break
+			}
+		}
+		if visible {
+			out = append(out, a.Elem)
+		}
+	}
+	return core.SortedSet(out)
+}
+
+// Timestamps returns every timestamp stored in the state.
+func (s State) Timestamps() []clock.Timestamp {
+	out := make([]clock.Timestamp, 0, len(s.Adds)+len(s.Removes))
+	for a := range s.Adds {
+		out = append(out, a.TS)
+	}
+	for r := range s.Removes {
+		out = append(out, r.TS)
+	}
+	return out
+}
+
+// String renders the two tag sets.
+func (s State) String() string {
+	format := func(m map[Tagged]bool) string {
+		parts := make([]string, 0, len(m))
+		for t := range m {
+			parts = append(parts, fmt.Sprintf("%s@%s", t.Elem, t.TS))
+		}
+		sort.Strings(parts)
+		return "{" + strings.Join(parts, " ") + "}"
+	}
+	return fmt.Sprintf("A=%s R=%s", format(s.Adds), format(s.Removes))
+}
+
+// Type is the state-based LWW-Element-Set CRDT.
+type Type struct{}
+
+// Name returns "LWW-Element-Set".
+func (Type) Name() string { return "LWW-Element-Set" }
+
+// Methods lists add and remove (both consume timestamps) and read.
+func (Type) Methods() []runtime.MethodInfo {
+	return []runtime.MethodInfo{
+		{Name: "add", Kind: core.KindUpdate, GeneratesTimestamp: true},
+		{Name: "remove", Kind: core.KindUpdate, GeneratesTimestamp: true},
+		{Name: "read", Kind: core.KindQuery},
+	}
+}
+
+// Init returns the empty set.
+func (Type) Init() runtime.State { return NewState() }
+
+// Apply implements the local methods of Listing 8.
+func (Type) Apply(s runtime.State, method string, args []core.Value, ts clock.Timestamp, r clock.ReplicaID) (core.Value, runtime.State, error) {
+	st, ok := s.(State)
+	if !ok {
+		return nil, nil, fmt.Errorf("lwwset: unexpected state %T", s)
+	}
+	switch method {
+	case "add", "remove":
+		if len(args) != 1 {
+			return nil, nil, fmt.Errorf("lwwset: %s expects one argument", method)
+		}
+		a, ok := args[0].(string)
+		if !ok {
+			return nil, nil, fmt.Errorf("lwwset: %s expects a string, got %T", method, args[0])
+		}
+		n := st.CloneState().(State)
+		if method == "add" {
+			n.Adds[Tagged{Elem: a, TS: ts}] = true
+		} else {
+			n.Removes[Tagged{Elem: a, TS: ts}] = true
+		}
+		return nil, n, nil
+	case "read":
+		return st.Values(), st, nil
+	default:
+		return nil, nil, fmt.Errorf("lwwset: unknown method %q", method)
+	}
+}
+
+// Merge takes the union of both tag sets.
+func (Type) Merge(a, b runtime.State) runtime.State {
+	x, y := a.(State), b.(State)
+	out := x.CloneState().(State)
+	for t := range y.Adds {
+		out.Adds[t] = true
+	}
+	for t := range y.Removes {
+		out.Removes[t] = true
+	}
+	return out
+}
+
+// Leq is set inclusion on both components.
+func (Type) Leq(a, b runtime.State) bool {
+	x, y := a.(State), b.(State)
+	for t := range x.Adds {
+		if !y.Adds[t] {
+			return false
+		}
+	}
+	for t := range x.Removes {
+		if !y.Removes[t] {
+			return false
+		}
+	}
+	return true
+}
+
+// Abs is the refinement mapping: the set of visible elements.
+func Abs(s runtime.State) core.AbsState {
+	out := spec.SetState{}
+	for _, v := range s.(State).Values() {
+		out[v] = true
+	}
+	return out
+}
+
+// StateTimestamps lists the timestamps stored in the state (Refinement_ts).
+func StateTimestamps(s runtime.State) []clock.Timestamp { return s.(State).Timestamps() }
+
+// LocalApply is the Appendix E.2 local effector: insert the tagged element
+// into A (add) or R (remove).
+func LocalApply(s runtime.State, l *core.Label) runtime.State {
+	st := s.(State).CloneState().(State)
+	elem, _ := l.Args[0].(string)
+	switch l.Method {
+	case "add":
+		st.Adds[Tagged{Elem: elem, TS: l.TS}] = true
+	case "remove":
+		st.Removes[Tagged{Elem: elem, TS: l.TS}] = true
+	}
+	return st
+}
+
+// ArgEqual: local-effector arguments coincide when method, element and
+// timestamp coincide.
+func ArgEqual(a, b *core.Label) bool {
+	return a.Method == b.Method && core.ValueEqual(a.Args, b.Args) && a.TS == b.TS
+}
+
+// ArgLess orders local-effector arguments by their timestamps.
+func ArgLess(a, b *core.Label) bool { return a.TS.Less(b.TS) }
+
+// Fresh is the P1 predicate of Appendix E.2: the operation's timestamp is not
+// smaller than any timestamp stored in the state.
+func Fresh(s runtime.State, l *core.Label) bool {
+	for _, ts := range s.(State).Timestamps() {
+		if l.TS.Less(ts) {
+			return false
+		}
+	}
+	return true
+}
+
+// RandomOp performs one random LWW-Element-Set operation.
+func RandomOp(rng *rand.Rand, sys crdt.Invoker, elems []string) (*core.Label, error) {
+	r := crdt.PickReplica(rng, sys)
+	switch rng.Intn(4) {
+	case 0, 1:
+		return sys.Invoke(r, "add", crdt.PickElem(rng, elems))
+	case 2:
+		return sys.Invoke(r, "remove", crdt.PickElem(rng, elems))
+	default:
+		return sys.Invoke(r, "read")
+	}
+}
+
+// Descriptor describes the LWW-Element-Set for the harnesses.
+func Descriptor() crdt.Descriptor {
+	return crdt.Descriptor{
+		Name:            "LWW-Element Set",
+		Source:          "Shapiro et al. 2011",
+		Class:           crdt.StateBased,
+		Lin:             crdt.TimestampOrder,
+		InFig12:         true,
+		SBType:          Type{},
+		Spec:            spec.Set{},
+		Abs:             Abs,
+		StateTimestamps: StateTimestamps,
+		RandomOp:        RandomOp,
+		SB: &crdt.SBProofs{
+			EffClass:   crdt.UniquelyIdentified,
+			LocalApply: LocalApply,
+			ArgEqual:   ArgEqual,
+			ArgLess:    ArgLess,
+			Fresh:      Fresh,
+		},
+	}
+}

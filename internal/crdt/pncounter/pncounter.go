@@ -1,0 +1,178 @@
+// Package pncounter implements the state-based PN-Counter of Listing 9
+// (Appendix E.3): one increment vector and one decrement vector per replica,
+// merged component-wise. The PN-Counter is RA-linearizable with respect to
+// Spec(Counter) using execution-order linearizations (Figure 12); its local
+// effectors fall in the "cumulative" class of Appendix D.4.
+package pncounter
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ralin/internal/clock"
+	"ralin/internal/core"
+	"ralin/internal/crdt"
+	"ralin/internal/runtime"
+	"ralin/internal/spec"
+)
+
+// State is the payload: the P (increments) and N (decrements) vectors.
+type State struct {
+	P clock.VersionVector
+	N clock.VersionVector
+}
+
+// NewState returns an empty PN-Counter state.
+func NewState() State {
+	return State{P: clock.NewVersionVector(), N: clock.NewVersionVector()}
+}
+
+// CloneState deep-copies both vectors.
+func (s State) CloneState() runtime.State {
+	return State{P: s.P.Copy(), N: s.N.Copy()}
+}
+
+// EqualState reports component-wise equality.
+func (s State) EqualState(o runtime.State) bool {
+	t, ok := o.(State)
+	return ok && s.P.Equal(t.P) && s.N.Equal(t.N)
+}
+
+// Value returns ΣP − ΣN.
+func (s State) Value() int64 {
+	var v int64
+	for _, n := range s.P {
+		v += int64(n)
+	}
+	for _, n := range s.N {
+		v -= int64(n)
+	}
+	return v
+}
+
+// String renders the two vectors and the value.
+func (s State) String() string {
+	return fmt.Sprintf("P=%s N=%s (=%d)", s.P, s.N, s.Value())
+}
+
+// Type is the state-based PN-Counter CRDT.
+type Type struct{}
+
+// Name returns "PN-Counter".
+func (Type) Name() string { return "PN-Counter" }
+
+// Methods lists inc, dec and read.
+func (Type) Methods() []runtime.MethodInfo {
+	return []runtime.MethodInfo{
+		{Name: "inc", Kind: core.KindUpdate},
+		{Name: "dec", Kind: core.KindUpdate},
+		{Name: "read", Kind: core.KindQuery},
+	}
+}
+
+// Init returns the zero counter.
+func (Type) Init() runtime.State { return NewState() }
+
+// Apply implements the local methods of Listing 9.
+func (Type) Apply(s runtime.State, method string, args []core.Value, ts clock.Timestamp, r clock.ReplicaID) (core.Value, runtime.State, error) {
+	st, ok := s.(State)
+	if !ok {
+		return nil, nil, fmt.Errorf("pncounter: unexpected state %T", s)
+	}
+	switch method {
+	case "inc":
+		n := st.CloneState().(State)
+		n.P.Increment(r)
+		return nil, n, nil
+	case "dec":
+		n := st.CloneState().(State)
+		n.N.Increment(r)
+		return nil, n, nil
+	case "read":
+		return st.Value(), st, nil
+	default:
+		return nil, nil, fmt.Errorf("pncounter: unknown method %q", method)
+	}
+}
+
+// Merge takes the component-wise maximum of both vectors.
+func (Type) Merge(a, b runtime.State) runtime.State {
+	x, y := a.(State), b.(State)
+	return State{P: x.P.Merge(y.P), N: x.N.Merge(y.N)}
+}
+
+// Leq is the product order of the two vector lattices.
+func (Type) Leq(a, b runtime.State) bool {
+	x, y := a.(State), b.(State)
+	return x.P.Leq(y.P) && x.N.Leq(y.N)
+}
+
+// Abs is the refinement mapping: the counter value ΣP − ΣN.
+func Abs(s runtime.State) core.AbsState { return spec.CounterState(s.(State).Value()) }
+
+// LocalApply is the Appendix E.3 local effector: increment the origin
+// replica's component of P (inc) or N (dec).
+func LocalApply(s runtime.State, l *core.Label) runtime.State {
+	st := s.(State).CloneState().(State)
+	switch l.Method {
+	case "inc":
+		st.P.Increment(l.Origin)
+	case "dec":
+		st.N.Increment(l.Origin)
+	}
+	return st
+}
+
+// ArgEqual: two labels carry the same local-effector argument when they use
+// the same method and originate at the same replica (cumulative class).
+func ArgEqual(a, b *core.Label) bool {
+	return a.Method == b.Method && a.Origin == b.Origin
+}
+
+// Fresh is the P2 predicate of Appendix E.3: the origin replica's component
+// of the relevant vector is still zero.
+func Fresh(s runtime.State, l *core.Label) bool {
+	st := s.(State)
+	switch l.Method {
+	case "inc":
+		return st.P.Get(l.Origin) == 0
+	case "dec":
+		return st.N.Get(l.Origin) == 0
+	default:
+		return true
+	}
+}
+
+// RandomOp performs one random PN-Counter operation.
+func RandomOp(rng *rand.Rand, sys crdt.Invoker, elems []string) (*core.Label, error) {
+	r := crdt.PickReplica(rng, sys)
+	switch rng.Intn(3) {
+	case 0:
+		return sys.Invoke(r, "inc")
+	case 1:
+		return sys.Invoke(r, "dec")
+	default:
+		return sys.Invoke(r, "read")
+	}
+}
+
+// Descriptor describes the PN-Counter for the harnesses.
+func Descriptor() crdt.Descriptor {
+	return crdt.Descriptor{
+		Name:     "PN-Counter",
+		Source:   "Shapiro et al. 2011",
+		Class:    crdt.StateBased,
+		Lin:      crdt.ExecutionOrder,
+		InFig12:  true,
+		SBType:   Type{},
+		Spec:     spec.Counter{},
+		Abs:      Abs,
+		RandomOp: RandomOp,
+		SB: &crdt.SBProofs{
+			EffClass:   crdt.Cumulative,
+			LocalApply: LocalApply,
+			ArgEqual:   ArgEqual,
+			Fresh:      Fresh,
+		},
+	}
+}

@@ -1,0 +1,68 @@
+// Package registry gathers the descriptors of every CRDT implemented in this
+// repository. The Figure 12 table, the verification harness and the random
+// history experiments all iterate over this registry.
+package registry
+
+import (
+	"fmt"
+
+	"ralin/internal/crdt"
+	"ralin/internal/crdt/counter"
+	"ralin/internal/crdt/lwwreg"
+	"ralin/internal/crdt/lwwset"
+	"ralin/internal/crdt/mvreg"
+	"ralin/internal/crdt/orset"
+	"ralin/internal/crdt/pncounter"
+	"ralin/internal/crdt/rga"
+	"ralin/internal/crdt/twopset"
+	"ralin/internal/crdt/wooki"
+)
+
+// All returns the descriptors of every implemented CRDT, in the row order of
+// Figure 12, followed by the extra types that are not part of the table (the
+// RGA addAt variant of Appendix C).
+func All() []crdt.Descriptor {
+	return []crdt.Descriptor{
+		counter.Descriptor(),
+		pncounter.Descriptor(),
+		lwwreg.Descriptor(),
+		mvreg.Descriptor(),
+		lwwset.Descriptor(),
+		twopset.Descriptor(),
+		orset.Descriptor(),
+		rga.Descriptor(),
+		wooki.Descriptor(),
+		rga.AddAtDescriptor(),
+	}
+}
+
+// Fig12 returns only the nine descriptors that form the rows of Figure 12.
+func Fig12() []crdt.Descriptor {
+	var out []crdt.Descriptor
+	for _, d := range All() {
+		if d.InFig12 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Lookup returns the descriptor with the given name.
+func Lookup(name string) (crdt.Descriptor, error) {
+	for _, d := range All() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return crdt.Descriptor{}, fmt.Errorf("registry: unknown CRDT %q", name)
+}
+
+// Names returns the names of all registered CRDTs in registry order.
+func Names() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, d := range all {
+		out[i] = d.Name
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package registry
+
+import (
+	"testing"
+
+	"ralin/internal/crdt"
+)
+
+func TestRegistryContents(t *testing.T) {
+	all := All()
+	if len(all) != 10 {
+		t.Fatalf("expected 10 registered CRDTs, got %d", len(all))
+	}
+	fig12 := Fig12()
+	if len(fig12) != 9 {
+		t.Fatalf("expected the 9 rows of Figure 12, got %d", len(fig12))
+	}
+	for _, d := range fig12 {
+		if !d.InFig12 {
+			t.Fatalf("%s leaked into Fig12()", d.Name)
+		}
+	}
+}
+
+func TestRegistryDescriptorsWellFormed(t *testing.T) {
+	for _, d := range All() {
+		if d.Name == "" || d.Source == "" {
+			t.Fatalf("descriptor missing name or source: %+v", d)
+		}
+		if d.Spec == nil || d.Abs == nil || d.RandomOp == nil {
+			t.Fatalf("%s: descriptor missing spec, abs or workload", d.Name)
+		}
+		switch d.Class {
+		case crdt.OpBased:
+			if d.OpType == nil || d.SBType != nil {
+				t.Fatalf("%s: operation-based descriptor must carry exactly an OpType", d.Name)
+			}
+		case crdt.StateBased:
+			if d.SBType == nil || d.OpType != nil {
+				t.Fatalf("%s: state-based descriptor must carry exactly an SBType", d.Name)
+			}
+			if d.SB == nil {
+				t.Fatalf("%s: state-based descriptor must carry Appendix D proof artefacts", d.Name)
+			}
+			if d.SB.EffClass == crdt.UniquelyIdentified && d.SB.ArgLess == nil {
+				t.Fatalf("%s: uniquely-identified class requires an argument order", d.Name)
+			}
+		}
+		if d.Lin == crdt.TimestampOrder && d.StateTimestamps == nil {
+			t.Fatalf("%s: timestamp-order descriptor must expose state timestamps", d.Name)
+		}
+	}
+}
+
+func TestRegistryFig12Classes(t *testing.T) {
+	// The Imp./Lin. columns of Figure 12.
+	want := map[string]struct {
+		class crdt.Class
+		lin   crdt.LinClass
+	}{
+		"Counter":          {crdt.OpBased, crdt.ExecutionOrder},
+		"PN-Counter":       {crdt.StateBased, crdt.ExecutionOrder},
+		"LWW-Register":     {crdt.OpBased, crdt.TimestampOrder},
+		"Multi-Value Reg.": {crdt.StateBased, crdt.ExecutionOrder},
+		"LWW-Element Set":  {crdt.StateBased, crdt.TimestampOrder},
+		"2P-Set":           {crdt.StateBased, crdt.ExecutionOrder},
+		"OR-Set":           {crdt.OpBased, crdt.ExecutionOrder},
+		"RGA":              {crdt.OpBased, crdt.TimestampOrder},
+		"Wooki":            {crdt.OpBased, crdt.ExecutionOrder},
+	}
+	got := map[string]bool{}
+	for _, d := range Fig12() {
+		w, ok := want[d.Name]
+		if !ok {
+			t.Fatalf("unexpected Figure 12 row %q", d.Name)
+		}
+		if d.Class != w.class || d.Lin != w.lin {
+			t.Fatalf("%s: got (%s, %s), want (%s, %s)", d.Name, d.Class, d.Lin, w.class, w.lin)
+		}
+		got[d.Name] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("missing Figure 12 rows: got %d of %d", len(got), len(want))
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	d, err := Lookup("RGA")
+	if err != nil || d.Name != "RGA" {
+		t.Fatalf("Lookup(RGA) failed: %v", err)
+	}
+	if _, err := Lookup("B-Tree"); err == nil {
+		t.Fatal("unknown name must fail")
+	}
+	names := Names()
+	if len(names) != 10 || names[0] != "Counter" {
+		t.Fatalf("Names wrong: %v", names)
+	}
+}
+
+func TestClassAndLinStrings(t *testing.T) {
+	if crdt.OpBased.String() != "OB" || crdt.StateBased.String() != "SB" || crdt.Class(9).String() != "?" {
+		t.Fatal("Class rendering wrong")
+	}
+	if crdt.ExecutionOrder.String() != "EO" || crdt.TimestampOrder.String() != "TO" || crdt.LinClass(9).String() != "?" {
+		t.Fatal("LinClass rendering wrong")
+	}
+	if crdt.UniquelyIdentified.String() != "uniquely-identified" ||
+		crdt.Cumulative.String() != "cumulative" ||
+		crdt.Idempotent.String() != "idempotent" ||
+		crdt.EffClass(9).String() != "?" {
+		t.Fatal("EffClass rendering wrong")
+	}
+}

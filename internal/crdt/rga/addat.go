@@ -1,0 +1,135 @@
+package rga
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ralin/internal/clock"
+	"ralin/internal/core"
+	"ralin/internal/crdt"
+	"ralin/internal/runtime"
+	"ralin/internal/spec"
+)
+
+// AddAtType is the RGA variant with the index-based interface of Appendix C.4
+// ([Attiya et al. 2016]): addAt(a, k) inserts a at index k of the local list
+// (appending when the list is shorter) and returns the updated local list;
+// remove(a) removes a and returns the updated local list; read returns the
+// local list. The state is the same timestamp tree as the add-after RGA.
+//
+// This variant is RA-linearizable with respect to Spec(addAt3) but not with
+// respect to Spec(addAt1) or Spec(addAt2) (Lemmas C.1 and C.2), which the
+// Figure 14 experiment reproduces.
+type AddAtType struct{}
+
+// Name returns "RGA-addAt".
+func (AddAtType) Name() string { return "RGA-addAt" }
+
+// Methods lists addAt, remove and read. addAt and remove return the updated
+// local list, which is why they are treated as updates carrying a return
+// value rather than query-updates (Section 4.2 notes that timestamp-order
+// objects need no query-update rewriting).
+func (AddAtType) Methods() []runtime.MethodInfo {
+	return []runtime.MethodInfo{
+		{Name: "addAt", Kind: core.KindUpdate, GeneratesTimestamp: true},
+		{Name: "remove", Kind: core.KindUpdate},
+		{Name: "read", Kind: core.KindQuery},
+	}
+}
+
+// Init returns the initial state.
+func (AddAtType) Init() runtime.State { return NewState() }
+
+// Generate implements the modified generators of Appendix C.4.
+func (AddAtType) Generate(s runtime.State, method string, args []core.Value, ts clock.Timestamp) (core.Value, runtime.Effector, error) {
+	st, ok := s.(State)
+	if !ok {
+		return nil, nil, fmt.Errorf("rga-addat: unexpected state %T", s)
+	}
+	switch method {
+	case "addAt":
+		if len(args) != 2 {
+			return nil, nil, fmt.Errorf("rga-addat: addAt expects two arguments")
+		}
+		elem, okE := args[0].(string)
+		k, okK := args[1].(int)
+		if !okE || !okK || k < 0 {
+			return nil, nil, fmt.Errorf("rga-addat: addAt expects (string, non-negative int)")
+		}
+		if elem == Root || st.Has(elem) {
+			return nil, nil, fmt.Errorf("rga-addat: addAt precondition: %q is not fresh", elem)
+		}
+		visible := st.Visible()
+		after := Root
+		switch {
+		case len(visible) == 0 || k == 0:
+			after = Root
+		case len(visible) >= k:
+			after = visible[k-1]
+		default:
+			after = visible[len(visible)-1]
+		}
+		eff := addEffector(after, ts, elem)
+		// The return value is the local list after the insertion.
+		local := eff.Apply(st).(State)
+		return local.Visible(), eff, nil
+	case "remove":
+		if len(args) != 1 {
+			return nil, nil, fmt.Errorf("rga-addat: remove expects one argument")
+		}
+		elem, ok := args[0].(string)
+		if !ok {
+			return nil, nil, fmt.Errorf("rga-addat: remove expects a string argument")
+		}
+		if err := checkRemove(st, elem); err != nil {
+			return nil, nil, err
+		}
+		eff := removeEffector(elem)
+		local := eff.Apply(st).(State)
+		return local.Visible(), eff, nil
+	case "read":
+		return st.Visible(), nil, nil
+	default:
+		return nil, nil, fmt.Errorf("rga-addat: unknown method %q", method)
+	}
+}
+
+// AddAtAbs is the refinement mapping used in the proof of Lemma C.2: identical
+// to the add-after mapping.
+func AddAtAbs(s runtime.State) core.AbsState { return Abs(s) }
+
+// RandomAddAtOp performs one random addAt-interface operation respecting the
+// preconditions at the chosen replica.
+func RandomAddAtOp(rng *rand.Rand, sys crdt.Invoker, elems []string) (*core.Label, error) {
+	r := crdt.PickReplica(rng, sys)
+	st := sys.ReplicaState(r).(State)
+	visible := st.Visible()
+	switch rng.Intn(4) {
+	case 0, 1:
+		return sys.Invoke(r, "addAt", FreshElem(), rng.Intn(len(visible)+2))
+	case 2:
+		if len(visible) == 0 {
+			return sys.Invoke(r, "read")
+		}
+		return sys.Invoke(r, "remove", visible[rng.Intn(len(visible))])
+	default:
+		return sys.Invoke(r, "read")
+	}
+}
+
+// AddAtDescriptor describes the addAt variant checked against Spec(addAt3).
+// It is not part of Figure 12 but backs the Figure 14 experiment.
+func AddAtDescriptor() crdt.Descriptor {
+	return crdt.Descriptor{
+		Name:            "RGA-addAt",
+		Source:          "Attiya et al. 2016 (Appendix C)",
+		Class:           crdt.OpBased,
+		Lin:             crdt.TimestampOrder,
+		InFig12:         false,
+		OpType:          AddAtType{},
+		Spec:            spec.AddAt3{},
+		Abs:             AddAtAbs,
+		StateTimestamps: StateTimestamps,
+		RandomOp:        RandomAddAtOp,
+	}
+}

@@ -1,0 +1,319 @@
+// Package rga implements the operation-based Replicated Growable Array of
+// Listing 1: a timestamp tree plus a tombstone set, with an add-after
+// interface. The RGA is RA-linearizable with respect to Spec(RGA) using
+// timestamp-order linearizations (Figure 12). The package also implements the
+// addAt (index-based) interface variant of Appendix C, which is
+// RA-linearizable with respect to Spec(addAt3) but not with respect to
+// Spec(addAt1) or Spec(addAt2).
+package rga
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"ralin/internal/clock"
+	"ralin/internal/core"
+	"ralin/internal/crdt"
+	"ralin/internal/runtime"
+	"ralin/internal/spec"
+)
+
+// Root is the pre-existing element ◦ after which the first real element is
+// inserted.
+const Root = spec.Root
+
+// Node is one entry of the timestamp tree (Ti-Tree): the triple
+// (parent, timestamp, element) of Listing 1.
+type Node struct {
+	// Parent is the element this node was inserted after (Root for the first
+	// level).
+	Parent string
+	// TS is the timestamp assigned by the inserting operation.
+	TS clock.Timestamp
+	// Elem is the inserted element.
+	Elem string
+}
+
+// State is the payload: the timestamp tree N (keyed by element — elements are
+// unique) and the tombstone set Tomb.
+type State struct {
+	Nodes map[string]Node
+	Tomb  map[string]bool
+}
+
+// NewState returns the initial RGA state (only the implicit root).
+func NewState() State {
+	return State{Nodes: map[string]Node{}, Tomb: map[string]bool{}}
+}
+
+// CloneState deep-copies the tree and the tombstone set.
+func (s State) CloneState() runtime.State {
+	c := State{Nodes: make(map[string]Node, len(s.Nodes)), Tomb: make(map[string]bool, len(s.Tomb))}
+	for k, v := range s.Nodes {
+		c.Nodes[k] = v
+	}
+	for k := range s.Tomb {
+		c.Tomb[k] = true
+	}
+	return c
+}
+
+// EqualState reports equality of tree and tombstones.
+func (s State) EqualState(o runtime.State) bool {
+	t, ok := o.(State)
+	if !ok || len(s.Nodes) != len(t.Nodes) || len(s.Tomb) != len(t.Tomb) {
+		return false
+	}
+	for k, v := range s.Nodes {
+		if t.Nodes[k] != v {
+			return false
+		}
+	}
+	for k := range s.Tomb {
+		if !t.Tomb[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Has reports whether the element is present in the tree (or is the root).
+func (s State) Has(elem string) bool {
+	if elem == Root {
+		return true
+	}
+	_, ok := s.Nodes[elem]
+	return ok
+}
+
+// children returns the children of parent ordered by descending timestamp
+// (the sibling order of the pre-order traversal).
+func (s State) children(parent string) []Node {
+	var out []Node
+	for _, n := range s.Nodes {
+		if n.Parent == parent {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[j].TS.Less(out[i].TS) })
+	return out
+}
+
+// Traverse performs the pre-order traversal of the timestamp tree, visiting
+// siblings in decreasing timestamp order and skipping the elements of the
+// given tombstone set (pass nil to keep every element).
+func (s State) Traverse(tomb map[string]bool) []string {
+	out := []string{}
+	var walk func(parent string)
+	walk = func(parent string) {
+		for _, n := range s.children(parent) {
+			if tomb == nil || !tomb[n.Elem] {
+				out = append(out, n.Elem)
+			}
+			walk(n.Elem)
+		}
+	}
+	walk(Root)
+	return out
+}
+
+// Visible returns the list a read returns: the traversal without tombstoned
+// elements.
+func (s State) Visible() []string { return s.Traverse(s.Tomb) }
+
+// Timestamps returns every timestamp stored in the tree.
+func (s State) Timestamps() []clock.Timestamp {
+	out := make([]clock.Timestamp, 0, len(s.Nodes))
+	for _, n := range s.Nodes {
+		out = append(out, n.TS)
+	}
+	return out
+}
+
+// String renders the visible list and the tombstone set.
+func (s State) String() string {
+	return fmt.Sprintf("%s tomb=%s", strings.Join(s.Traverse(nil), "·"), core.FormatValue(tombElems(s.Tomb)))
+}
+
+func tombElems(tomb map[string]bool) []string {
+	out := make([]string, 0, len(tomb))
+	for e := range tomb {
+		out = append(out, e)
+	}
+	return core.SortedSet(out)
+}
+
+// Type is the operation-based RGA CRDT with the add-after interface of
+// Listing 1.
+type Type struct{}
+
+// Name returns "RGA".
+func (Type) Name() string { return "RGA" }
+
+// Methods lists addAfter, remove and read.
+func (Type) Methods() []runtime.MethodInfo {
+	return []runtime.MethodInfo{
+		{Name: "addAfter", Kind: core.KindUpdate, GeneratesTimestamp: true},
+		{Name: "remove", Kind: core.KindUpdate},
+		{Name: "read", Kind: core.KindQuery},
+	}
+}
+
+// Init returns the initial state.
+func (Type) Init() runtime.State { return NewState() }
+
+// Generate implements the generators of Listing 1.
+func (Type) Generate(s runtime.State, method string, args []core.Value, ts clock.Timestamp) (core.Value, runtime.Effector, error) {
+	st, ok := s.(State)
+	if !ok {
+		return nil, nil, fmt.Errorf("rga: unexpected state %T", s)
+	}
+	switch method {
+	case "addAfter":
+		if len(args) != 2 {
+			return nil, nil, fmt.Errorf("rga: addAfter expects two arguments")
+		}
+		after, okA := args[0].(string)
+		elem, okB := args[1].(string)
+		if !okA || !okB {
+			return nil, nil, fmt.Errorf("rga: addAfter expects string arguments")
+		}
+		if err := checkAddAfter(st, after, elem); err != nil {
+			return nil, nil, err
+		}
+		return nil, addEffector(after, ts, elem), nil
+	case "remove":
+		if len(args) != 1 {
+			return nil, nil, fmt.Errorf("rga: remove expects one argument")
+		}
+		elem, ok := args[0].(string)
+		if !ok {
+			return nil, nil, fmt.Errorf("rga: remove expects a string argument")
+		}
+		if err := checkRemove(st, elem); err != nil {
+			return nil, nil, err
+		}
+		return nil, removeEffector(elem), nil
+	case "read":
+		return st.Visible(), nil, nil
+	default:
+		return nil, nil, fmt.Errorf("rga: unknown method %q", method)
+	}
+}
+
+func checkAddAfter(st State, after, elem string) error {
+	if after != Root {
+		if !st.Has(after) {
+			return fmt.Errorf("rga: addAfter precondition: %q not present", after)
+		}
+		if st.Tomb[after] {
+			return fmt.Errorf("rga: addAfter precondition: %q is tombstoned", after)
+		}
+	}
+	if elem == Root || st.Has(elem) {
+		return fmt.Errorf("rga: addAfter precondition: %q is not fresh", elem)
+	}
+	return nil
+}
+
+func checkRemove(st State, elem string) error {
+	if elem == Root {
+		return fmt.Errorf("rga: remove precondition: cannot remove %q", Root)
+	}
+	if !st.Has(elem) {
+		return fmt.Errorf("rga: remove precondition: %q not present", elem)
+	}
+	if st.Tomb[elem] {
+		return fmt.Errorf("rga: remove precondition: %q already tombstoned", elem)
+	}
+	return nil
+}
+
+func addEffector(after string, ts clock.Timestamp, elem string) runtime.Effector {
+	return runtime.EffectorFunc{
+		Name: fmt.Sprintf("eff-addAfter(%s,%s,%s)", after, ts, elem),
+		F: func(x runtime.State) runtime.State {
+			n := x.(State).CloneState().(State)
+			n.Nodes[elem] = Node{Parent: after, TS: ts, Elem: elem}
+			return n
+		},
+	}
+}
+
+func removeEffector(elem string) runtime.Effector {
+	return runtime.EffectorFunc{
+		Name: fmt.Sprintf("eff-remove(%s)", elem),
+		F: func(x runtime.State) runtime.State {
+			n := x.(State).CloneState().(State)
+			n.Tomb[elem] = true
+			return n
+		},
+	}
+}
+
+// Abs is the refinement mapping of Example 4.5: the specification list is the
+// traversal of the tree keeping tombstoned elements (they remain addressable)
+// and the tombstone set is copied.
+func Abs(s runtime.State) core.AbsState {
+	st := s.(State)
+	out := spec.NewListState(Root)
+	out.Elems = append(out.Elems, st.Traverse(nil)...)
+	for e := range st.Tomb {
+		out.Tomb[e] = true
+	}
+	return out
+}
+
+// StateTimestamps lists the timestamps stored in the tree (Refinement_ts).
+func StateTimestamps(s runtime.State) []clock.Timestamp { return s.(State).Timestamps() }
+
+// freshCounter generates globally unique element names for random workloads.
+var freshCounter uint64
+
+// FreshElem returns a globally unique element name for workload generation.
+func FreshElem() string {
+	return fmt.Sprintf("v%d", atomic.AddUint64(&freshCounter, 1))
+}
+
+// RandomOp performs one random RGA operation that respects the generator
+// preconditions at the chosen replica: an addAfter of a fresh element after a
+// visible one (or the root), a remove of a visible element, or a read.
+func RandomOp(rng *rand.Rand, sys crdt.Invoker, elems []string) (*core.Label, error) {
+	r := crdt.PickReplica(rng, sys)
+	st := sys.ReplicaState(r).(State)
+	visible := st.Visible()
+	switch rng.Intn(4) {
+	case 0, 1:
+		after := Root
+		if len(visible) > 0 && rng.Intn(3) > 0 {
+			after = visible[rng.Intn(len(visible))]
+		}
+		return sys.Invoke(r, "addAfter", after, FreshElem())
+	case 2:
+		if len(visible) == 0 {
+			return sys.Invoke(r, "read")
+		}
+		return sys.Invoke(r, "remove", visible[rng.Intn(len(visible))])
+	default:
+		return sys.Invoke(r, "read")
+	}
+}
+
+// Descriptor describes the RGA (add-after interface) for the harnesses.
+func Descriptor() crdt.Descriptor {
+	return crdt.Descriptor{
+		Name:            "RGA",
+		Source:          "Roh et al. 2011",
+		Class:           crdt.OpBased,
+		Lin:             crdt.TimestampOrder,
+		InFig12:         true,
+		OpType:          Type{},
+		Spec:            spec.RGA{},
+		Abs:             Abs,
+		StateTimestamps: StateTimestamps,
+		RandomOp:        RandomOp,
+	}
+}

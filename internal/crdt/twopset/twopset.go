@@ -1,0 +1,270 @@
+// Package twopset implements the state-based Two-Phase Set of Listing 10
+// (Appendix E.4): an add set and a remove (tombstone) set, merged by union.
+// An element can be added once and removed once; once removed it can never be
+// re-added. The 2P-Set is RA-linearizable with respect to Spec(Set) using
+// execution-order linearizations (Figure 12); its local effectors fall in the
+// "idempotent" class of Appendix D.5.
+package twopset
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+
+	"ralin/internal/clock"
+	"ralin/internal/core"
+	"ralin/internal/crdt"
+	"ralin/internal/runtime"
+	"ralin/internal/spec"
+)
+
+// State is the payload: the add set A and the remove set R.
+type State struct {
+	Adds    map[string]bool
+	Removes map[string]bool
+}
+
+// NewState returns the empty 2P-Set.
+func NewState() State {
+	return State{Adds: map[string]bool{}, Removes: map[string]bool{}}
+}
+
+// CloneState deep-copies both sets.
+func (s State) CloneState() runtime.State {
+	c := NewState()
+	for e := range s.Adds {
+		c.Adds[e] = true
+	}
+	for e := range s.Removes {
+		c.Removes[e] = true
+	}
+	return c
+}
+
+// EqualState reports equality of both sets.
+func (s State) EqualState(o runtime.State) bool {
+	t, ok := o.(State)
+	if !ok || len(s.Adds) != len(t.Adds) || len(s.Removes) != len(t.Removes) {
+		return false
+	}
+	for e := range s.Adds {
+		if !t.Adds[e] {
+			return false
+		}
+	}
+	for e := range s.Removes {
+		if !t.Removes[e] {
+			return false
+		}
+	}
+	return true
+}
+
+// Values returns A \ R, sorted.
+func (s State) Values() []string {
+	var out []string
+	for e := range s.Adds {
+		if !s.Removes[e] {
+			out = append(out, e)
+		}
+	}
+	return core.SortedSet(out)
+}
+
+// String renders both sets.
+func (s State) String() string {
+	set := func(m map[string]bool) string {
+		out := make([]string, 0, len(m))
+		for e := range m {
+			out = append(out, e)
+		}
+		return "{" + strings.Join(core.SortedSet(out), " ") + "}"
+	}
+	return fmt.Sprintf("A=%s R=%s", set(s.Adds), set(s.Removes))
+}
+
+// Type is the state-based 2P-Set CRDT.
+type Type struct{}
+
+// Name returns "2P-Set".
+func (Type) Name() string { return "2P-Set" }
+
+// Methods lists add, remove and read.
+func (Type) Methods() []runtime.MethodInfo {
+	return []runtime.MethodInfo{
+		{Name: "add", Kind: core.KindUpdate},
+		{Name: "remove", Kind: core.KindUpdate},
+		{Name: "read", Kind: core.KindQuery},
+	}
+}
+
+// Init returns the empty set.
+func (Type) Init() runtime.State { return NewState() }
+
+// Apply implements the local methods of Listing 10.
+func (Type) Apply(s runtime.State, method string, args []core.Value, ts clock.Timestamp, r clock.ReplicaID) (core.Value, runtime.State, error) {
+	st, ok := s.(State)
+	if !ok {
+		return nil, nil, fmt.Errorf("twopset: unexpected state %T", s)
+	}
+	switch method {
+	case "add":
+		a, err := oneString(method, args)
+		if err != nil {
+			return nil, nil, err
+		}
+		n := st.CloneState().(State)
+		n.Adds[a] = true
+		return nil, n, nil
+	case "remove":
+		a, err := oneString(method, args)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !st.Adds[a] || st.Removes[a] {
+			return nil, nil, fmt.Errorf("twopset: remove precondition: %q not currently in the set", a)
+		}
+		n := st.CloneState().(State)
+		n.Removes[a] = true
+		return nil, n, nil
+	case "read":
+		return st.Values(), st, nil
+	default:
+		return nil, nil, fmt.Errorf("twopset: unknown method %q", method)
+	}
+}
+
+func oneString(method string, args []core.Value) (string, error) {
+	if len(args) != 1 {
+		return "", fmt.Errorf("twopset: %s expects one argument", method)
+	}
+	a, ok := args[0].(string)
+	if !ok {
+		return "", fmt.Errorf("twopset: %s expects a string, got %T", method, args[0])
+	}
+	return a, nil
+}
+
+// Merge takes the union of both sets.
+func (Type) Merge(a, b runtime.State) runtime.State {
+	x, y := a.(State), b.(State)
+	out := x.CloneState().(State)
+	for e := range y.Adds {
+		out.Adds[e] = true
+	}
+	for e := range y.Removes {
+		out.Removes[e] = true
+	}
+	return out
+}
+
+// Leq is set inclusion on both components.
+func (Type) Leq(a, b runtime.State) bool {
+	x, y := a.(State), b.(State)
+	for e := range x.Adds {
+		if !y.Adds[e] {
+			return false
+		}
+	}
+	for e := range x.Removes {
+		if !y.Removes[e] {
+			return false
+		}
+	}
+	return true
+}
+
+// Abs is the refinement mapping: A \ R.
+func Abs(s runtime.State) core.AbsState {
+	out := spec.SetState{}
+	for _, v := range s.(State).Values() {
+		out[v] = true
+	}
+	return out
+}
+
+// LocalApply is the Appendix E.4 local effector: insert the element into A
+// (add) or R (remove).
+func LocalApply(s runtime.State, l *core.Label) runtime.State {
+	st := s.(State).CloneState().(State)
+	elem, _ := l.Args[0].(string)
+	switch l.Method {
+	case "add":
+		st.Adds[elem] = true
+	case "remove":
+		st.Removes[elem] = true
+	}
+	return st
+}
+
+// ArgEqual: local-effector arguments coincide when method and element
+// coincide (idempotent class).
+func ArgEqual(a, b *core.Label) bool {
+	return a.Method == b.Method && core.ValueEqual(a.Args, b.Args)
+}
+
+// Fresh is the P2 predicate of Appendix E.4: the element has not been added
+// (for add) or removed (for remove) in the state yet.
+func Fresh(s runtime.State, l *core.Label) bool {
+	st := s.(State)
+	elem, _ := l.Args[0].(string)
+	switch l.Method {
+	case "add":
+		return !st.Adds[elem]
+	case "remove":
+		return !st.Removes[elem]
+	default:
+		return true
+	}
+}
+
+// RandomOp performs one random 2P-Set operation respecting the usage
+// discipline: each element is added at most once (globally, by drawing fresh
+// names) and removed at most once.
+func RandomOp(rng *rand.Rand, sys crdt.Invoker, elems []string) (*core.Label, error) {
+	r := crdt.PickReplica(rng, sys)
+	st := sys.ReplicaState(r).(State)
+	switch rng.Intn(4) {
+	case 0, 1:
+		return sys.Invoke(r, "add", FreshElem())
+	case 2:
+		candidates := st.Values()
+		if len(candidates) == 0 {
+			return sys.Invoke(r, "read")
+		}
+		return sys.Invoke(r, "remove", candidates[rng.Intn(len(candidates))])
+	default:
+		return sys.Invoke(r, "read")
+	}
+}
+
+// freshCounter generates globally unique element names for random workloads,
+// honouring the 2P-Set usage assumption that a value is never added twice.
+var freshCounter uint64
+
+// FreshElem returns a globally unique element name for workload generation.
+func FreshElem() string {
+	return fmt.Sprintf("p%d", atomic.AddUint64(&freshCounter, 1))
+}
+
+// Descriptor describes the 2P-Set for the harnesses.
+func Descriptor() crdt.Descriptor {
+	return crdt.Descriptor{
+		Name:     "2P-Set",
+		Source:   "Shapiro et al. 2011",
+		Class:    crdt.StateBased,
+		Lin:      crdt.ExecutionOrder,
+		InFig12:  true,
+		SBType:   Type{},
+		Spec:     spec.Set{},
+		Abs:      Abs,
+		RandomOp: RandomOp,
+		SB: &crdt.SBProofs{
+			EffClass:   crdt.Idempotent,
+			LocalApply: LocalApply,
+			ArgEqual:   ArgEqual,
+			Fresh:      Fresh,
+		},
+	}
+}

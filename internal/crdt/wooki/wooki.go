@@ -1,0 +1,353 @@
+// Package wooki implements the operation-based Wooki list CRDT of Listing 5
+// (Appendix B.3), an optimised variant of Woot: every element is a
+// W-character carrying a unique timestamp identifier, a degree and a
+// visibility flag; addBetween(a, b, c) integrates b between a and c with the
+// recursive integrateIns procedure; remove hides a character; read returns
+// the visible values. Wooki is RA-linearizable with respect to the
+// (nondeterministic) Spec(Wooki) using execution-order linearizations
+// (Figure 12).
+package wooki
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+
+	"ralin/internal/clock"
+	"ralin/internal/core"
+	"ralin/internal/crdt"
+	"ralin/internal/runtime"
+	"ralin/internal/spec"
+)
+
+// Sentinel values delimiting every W-string.
+const (
+	// Begin is the ◦begin sentinel.
+	Begin = spec.Begin
+	// End is the ◦end sentinel.
+	End = spec.End
+)
+
+// WChar is a W-character: the tuple (id, value, degree, flag) of Listing 5.
+type WChar struct {
+	// ID is the unique identifier (a timestamp); sentinels use ⊥.
+	ID clock.Timestamp
+	// Value is the element value.
+	Value string
+	// Degree is fixed at insertion time and steers integrateIns.
+	Degree int
+	// Visible is false once the character has been removed.
+	Visible bool
+}
+
+// State is the payload: the W-string, a sequence of W-characters starting
+// with the ◦begin sentinel and ending with the ◦end sentinel.
+type State []WChar
+
+// NewState returns the initial W-string holding only the sentinels.
+func NewState() State {
+	return State{
+		{Value: Begin, Degree: 0, Visible: true},
+		{Value: End, Degree: 0, Visible: true},
+	}
+}
+
+// CloneState copies the W-string.
+func (s State) CloneState() runtime.State {
+	return append(State(nil), s...)
+}
+
+// EqualState reports element-wise equality.
+func (s State) EqualState(o runtime.State) bool {
+	t, ok := o.(State)
+	if !ok || len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// pos returns the index of the character with the given value, or -1.
+func (s State) pos(value string) int {
+	for i, w := range s {
+		if w.Value == value {
+			return i
+		}
+	}
+	return -1
+}
+
+// Contains reports whether a character with the given value exists
+// (visible or not).
+func (s State) Contains(value string) bool { return s.pos(value) >= 0 }
+
+// Values returns the visible, non-sentinel values in order.
+func (s State) Values() []string {
+	out := []string{}
+	for _, w := range s {
+		if w.Value == Begin || w.Value == End || !w.Visible {
+			continue
+		}
+		out = append(out, w.Value)
+	}
+	return out
+}
+
+// AllValues returns every non-sentinel value in order, visible or not.
+func (s State) AllValues() []string {
+	out := []string{}
+	for _, w := range s {
+		if w.Value == Begin || w.Value == End {
+			continue
+		}
+		out = append(out, w.Value)
+	}
+	return out
+}
+
+// Hidden returns the values whose characters have been removed.
+func (s State) Hidden() []string {
+	out := []string{}
+	for _, w := range s {
+		if w.Value == Begin || w.Value == End || w.Visible {
+			continue
+		}
+		out = append(out, w.Value)
+	}
+	return out
+}
+
+// Timestamps returns the identifiers of every non-sentinel character.
+func (s State) Timestamps() []clock.Timestamp {
+	out := []clock.Timestamp{}
+	for _, w := range s {
+		if w.Value == Begin || w.Value == End {
+			continue
+		}
+		out = append(out, w.ID)
+	}
+	return out
+}
+
+// String renders the W-string; removed characters are parenthesised.
+func (s State) String() string {
+	parts := make([]string, 0, len(s))
+	for _, w := range s {
+		v := w.Value
+		if !w.Visible {
+			v = "(" + v + ")"
+		}
+		parts = append(parts, v)
+	}
+	return strings.Join(parts, "·")
+}
+
+// insertAt returns a copy of the W-string with w inserted at index i.
+func (s State) insertAt(i int, w WChar) State {
+	out := make(State, 0, len(s)+1)
+	out = append(out, s[:i]...)
+	out = append(out, w)
+	out = append(out, s[i:]...)
+	return out
+}
+
+// integrateIns places w between the characters with values wp and wn,
+// following the recursive procedure of Listing 5: among the candidates of
+// minimal degree strictly between the bounds, the insertion point is chosen
+// by comparing identifiers, recursing into the narrowed window.
+func integrateIns(s State, wpValue string, w WChar, wnValue string) State {
+	ip, in := s.pos(wpValue), s.pos(wnValue)
+	if ip < 0 || in < 0 || ip >= in {
+		// Causal delivery guarantees the bounds exist in order; reaching this
+		// branch means the effector was applied outside its precondition.
+		return s.insertAt(len(s)-1, w)
+	}
+	sub := s[ip+1 : in]
+	if len(sub) == 0 {
+		return s.insertAt(in, w)
+	}
+	dmin := sub[0].Degree
+	for _, c := range sub {
+		if c.Degree < dmin {
+			dmin = c.Degree
+		}
+	}
+	var f []WChar
+	for _, c := range sub {
+		if c.Degree == dmin {
+			f = append(f, c)
+		}
+	}
+	if w.ID.Less(f[0].ID) {
+		return integrateIns(s, wpValue, w, f[0].Value)
+	}
+	i := 0
+	for i < len(f)-1 && f[i].ID.Less(w.ID) {
+		i++
+	}
+	if i == len(f)-1 && f[i].ID.Less(w.ID) {
+		return integrateIns(s, f[i].Value, w, wnValue)
+	}
+	return integrateIns(s, f[i-1].Value, w, f[i].Value)
+}
+
+// Type is the operation-based Wooki CRDT.
+type Type struct{}
+
+// Name returns "Wooki".
+func (Type) Name() string { return "Wooki" }
+
+// Methods lists addBetween, remove and read.
+func (Type) Methods() []runtime.MethodInfo {
+	return []runtime.MethodInfo{
+		{Name: "addBetween", Kind: core.KindUpdate, GeneratesTimestamp: true},
+		{Name: "remove", Kind: core.KindUpdate},
+		{Name: "read", Kind: core.KindQuery},
+	}
+}
+
+// Init returns the sentinel-only W-string.
+func (Type) Init() runtime.State { return NewState() }
+
+// Generate implements the generators of Listing 5.
+func (Type) Generate(s runtime.State, method string, args []core.Value, ts clock.Timestamp) (core.Value, runtime.Effector, error) {
+	st, ok := s.(State)
+	if !ok {
+		return nil, nil, fmt.Errorf("wooki: unexpected state %T", s)
+	}
+	switch method {
+	case "addBetween":
+		if len(args) != 3 {
+			return nil, nil, fmt.Errorf("wooki: addBetween expects three arguments")
+		}
+		a, okA := args[0].(string)
+		b, okB := args[1].(string)
+		c, okC := args[2].(string)
+		if !okA || !okB || !okC {
+			return nil, nil, fmt.Errorf("wooki: addBetween expects string arguments")
+		}
+		if c == Begin || a == End || b == Begin || b == End {
+			return nil, nil, fmt.Errorf("wooki: addBetween precondition: sentinel misuse")
+		}
+		if !st.Contains(a) || !st.Contains(c) {
+			return nil, nil, fmt.Errorf("wooki: addBetween precondition: bounds %q, %q must exist", a, c)
+		}
+		if st.pos(c) <= st.pos(a) {
+			return nil, nil, fmt.Errorf("wooki: addBetween precondition: %q must precede %q", a, c)
+		}
+		if st.Contains(b) {
+			return nil, nil, fmt.Errorf("wooki: addBetween precondition: %q is not fresh", b)
+		}
+		wp, wn := st[st.pos(a)], st[st.pos(c)]
+		deg := wp.Degree
+		if wn.Degree > deg {
+			deg = wn.Degree
+		}
+		w := WChar{ID: ts, Value: b, Degree: deg + 1, Visible: true}
+		eff := runtime.EffectorFunc{
+			Name: fmt.Sprintf("eff-addBetween(%s,%s,%s)[%s]", a, b, c, ts),
+			F: func(x runtime.State) runtime.State {
+				return integrateIns(x.(State).CloneState().(State), a, w, c)
+			},
+		}
+		return nil, eff, nil
+	case "remove":
+		if len(args) != 1 {
+			return nil, nil, fmt.Errorf("wooki: remove expects one argument")
+		}
+		a, ok := args[0].(string)
+		if !ok {
+			return nil, nil, fmt.Errorf("wooki: remove expects a string argument")
+		}
+		if a == Begin || a == End {
+			return nil, nil, fmt.Errorf("wooki: remove precondition: cannot remove a sentinel")
+		}
+		if !st.Contains(a) {
+			return nil, nil, fmt.Errorf("wooki: remove precondition: %q not present", a)
+		}
+		eff := runtime.EffectorFunc{
+			Name: fmt.Sprintf("eff-remove(%s)", a),
+			F: func(x runtime.State) runtime.State {
+				n := x.(State).CloneState().(State)
+				if i := n.pos(a); i >= 0 {
+					n[i].Visible = false
+				}
+				return n
+			},
+		}
+		return nil, eff, nil
+	case "read":
+		return st.Values(), nil, nil
+	default:
+		return nil, nil, fmt.Errorf("wooki: unknown method %q", method)
+	}
+}
+
+// Abs is the refinement mapping: the W-string read as a specification list
+// state (all values in string order, removed ones recorded in the tombstone
+// set).
+func Abs(s runtime.State) core.AbsState {
+	st := s.(State)
+	out := spec.NewListState()
+	for _, w := range st {
+		out.Elems = append(out.Elems, w.Value)
+	}
+	for _, hidden := range st.Hidden() {
+		out.Tomb[hidden] = true
+	}
+	return out
+}
+
+// StateTimestamps lists the identifiers stored in the W-string.
+func StateTimestamps(s runtime.State) []clock.Timestamp { return s.(State).Timestamps() }
+
+// freshCounter generates globally unique element names for random workloads.
+var freshCounter uint64
+
+// FreshElem returns a globally unique element name for workload generation.
+func FreshElem() string {
+	return fmt.Sprintf("w%d", atomic.AddUint64(&freshCounter, 1))
+}
+
+// RandomOp performs one random Wooki operation respecting the generator
+// preconditions at the chosen replica.
+func RandomOp(rng *rand.Rand, sys crdt.Invoker, elems []string) (*core.Label, error) {
+	r := crdt.PickReplica(rng, sys)
+	st := sys.ReplicaState(r).(State)
+	switch rng.Intn(4) {
+	case 0, 1:
+		// Pick two positions i < j and insert between their values.
+		i := rng.Intn(len(st) - 1)
+		j := i + 1 + rng.Intn(len(st)-i-1)
+		return sys.Invoke(r, "addBetween", st[i].Value, FreshElem(), st[j].Value)
+	case 2:
+		visible := st.Values()
+		if len(visible) == 0 {
+			return sys.Invoke(r, "read")
+		}
+		return sys.Invoke(r, "remove", visible[rng.Intn(len(visible))])
+	default:
+		return sys.Invoke(r, "read")
+	}
+}
+
+// Descriptor describes Wooki for the harnesses.
+func Descriptor() crdt.Descriptor {
+	return crdt.Descriptor{
+		Name:            "Wooki",
+		Source:          "Weiss et al. 2007",
+		Class:           crdt.OpBased,
+		Lin:             crdt.ExecutionOrder,
+		InFig12:         true,
+		OpType:          Type{},
+		Spec:            spec.Wooki{},
+		Abs:             Abs,
+		StateTimestamps: StateTimestamps,
+		RandomOp:        RandomOp,
+	}
+}

@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Experiment is the outcome of reproducing one of the paper's figures or
+// worked examples.
+type Experiment struct {
+	// ID is the experiment identifier (for example "fig-5a").
+	ID string
+	// Title describes the artefact being reproduced.
+	Title string
+	// Claim states what the paper claims about this artefact.
+	Claim string
+	// Observed states what this reproduction measured.
+	Observed string
+	// OK reports whether the observation matches the claim.
+	OK bool
+	// Output is a human-readable transcript (histories, linearizations,
+	// replica states) backing the observation.
+	Output string
+}
+
+// String renders the experiment as a report section.
+func (e Experiment) String() string {
+	status := "REPRODUCED"
+	if !e.OK {
+		status = "MISMATCH"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s] %s — %s\n", e.ID, e.Title, status)
+	fmt.Fprintf(&b, "  paper:    %s\n", e.Claim)
+	fmt.Fprintf(&b, "  observed: %s\n", e.Observed)
+	if e.Output != "" {
+		for _, line := range strings.Split(strings.TrimRight(e.Output, "\n"), "\n") {
+			fmt.Fprintf(&b, "    %s\n", line)
+		}
+	}
+	return b.String()
+}
+
+// Experiments runs every figure reproduction and returns them in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		Fig2(),
+		Fig3(),
+		Fig5a(),
+		Fig5b(),
+		Sec33(),
+		Fig8(),
+		Fig9(),
+		Fig10(),
+		Fig13(),
+		Fig14(),
+	}
+}
+
+// ExperimentByID returns the experiment with the given identifier.
+func ExperimentByID(id string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("harness: unknown experiment %q", id)
+}
+
+// ExperimentIDs lists the identifiers in paper order.
+func ExperimentIDs() []string {
+	var out []string
+	for _, e := range Experiments() {
+		out = append(out, e.ID)
+	}
+	return out
+}

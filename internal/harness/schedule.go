@@ -1,0 +1,218 @@
+package harness
+
+import (
+	"fmt"
+
+	"ralin/internal/clock"
+	"ralin/internal/core"
+	"ralin/internal/crdt"
+	"ralin/internal/runtime"
+)
+
+// Step is one operation of a scripted per-replica program.
+type Step struct {
+	// Method is the method name.
+	Method string
+	// Args are the call arguments.
+	Args []core.Value
+}
+
+// Program assigns each replica (by index) the sequence of operations it
+// issues.
+type Program [][]Step
+
+// Run is one completed execution of a program under a specific schedule.
+type Run struct {
+	// System is the final operation-based deployment.
+	System *runtime.System
+	// Labels maps (replica, step index) to the operation label it produced.
+	Labels map[int]map[int]*core.Label
+	// Schedule is the action sequence that was executed, for diagnostics.
+	Schedule []string
+}
+
+// Label returns the label produced by the given replica's step.
+func (r Run) Label(replica, step int) *core.Label { return r.Labels[replica][step] }
+
+// scheduleAction is one action of a schedule during enumeration.
+type scheduleAction struct {
+	// kind is "op" or "deliver".
+	kind string
+	// replica is the acting replica.
+	replica int
+	// step is the program step index (op actions).
+	step int
+	// op identifies the delivered operation by (origin replica, step index)
+	// (deliver actions).
+	opReplica, opStep int
+}
+
+func (a scheduleAction) String() string {
+	if a.kind == "op" {
+		return fmt.Sprintf("r%d:op%d", a.replica, a.step)
+	}
+	return fmt.Sprintf("r%d:recv(r%d:op%d)", a.replica, a.opReplica, a.opStep)
+}
+
+// ExploreSchedules enumerates every interleaving of operation execution and
+// causal effector delivery for the given program over an operation-based CRDT
+// and calls visit with each completed run. Enumeration stops early when visit
+// returns false or when limit runs have been produced (limit <= 0 means no
+// limit). Deliveries that remain pending once every program step has executed
+// are not explored further: they cannot affect any return value.
+//
+// The exploration tracks, purely symbolically, which operations have been
+// generated and delivered where, so that only causally valid schedules are
+// enumerated; each complete schedule is then replayed on a fresh system.
+func ExploreSchedules(d crdt.Descriptor, program Program, limit int, visit func(Run) bool) (int, error) {
+	if d.OpType == nil {
+		return 0, fmt.Errorf("harness: schedule exploration requires an operation-based CRDT")
+	}
+	replicas := len(program)
+	if replicas == 0 {
+		return 0, fmt.Errorf("harness: empty program")
+	}
+
+	type opID struct{ replica, step int }
+	methods := runtime.MethodTable(d.OpType.Methods())
+	isQuery := func(id opID) bool {
+		return methods[program[id.replica][id.step].Method].Kind == core.KindQuery
+	}
+	// Symbolic execution state.
+	pc := make([]int, replicas)                // next step per replica
+	applied := make([]map[opID]bool, replicas) // ops applied per replica
+	origin := map[opID][]opID{}                // non-query ops visible at origin when generated
+	var generated []opID                       // deliverable (non-query) operations
+	for r := range applied {
+		applied[r] = map[opID]bool{}
+	}
+
+	runs := 0
+	stopped := false
+	var schedule []scheduleAction
+
+	replay := func(schedule []scheduleAction) (Run, error) {
+		sys := d.NewOpSystem(runtime.Config{Replicas: replicas})
+		labels := map[int]map[int]*core.Label{}
+		for r := 0; r < replicas; r++ {
+			labels[r] = map[int]*core.Label{}
+		}
+		var names []string
+		for _, a := range schedule {
+			names = append(names, a.String())
+			if a.kind == "op" {
+				step := program[a.replica][a.step]
+				l, err := sys.Invoke(clock.ReplicaID(a.replica), step.Method, step.Args...)
+				if err != nil {
+					return Run{}, fmt.Errorf("replay %v: %w", a, err)
+				}
+				labels[a.replica][a.step] = l
+				continue
+			}
+			l := labels[a.opReplica][a.opStep]
+			if l == nil {
+				return Run{}, fmt.Errorf("replay %v: delivered operation not yet generated", a)
+			}
+			if err := sys.Deliver(clock.ReplicaID(a.replica), l.ID); err != nil {
+				return Run{}, fmt.Errorf("replay %v: %w", a, err)
+			}
+		}
+		return Run{System: sys, Labels: labels, Schedule: names}, nil
+	}
+
+	var err error
+	var rec func()
+	rec = func() {
+		if stopped || err != nil {
+			return
+		}
+		// Completed when every program step has executed.
+		done := true
+		for r := 0; r < replicas; r++ {
+			if pc[r] < len(program[r]) {
+				done = false
+				break
+			}
+		}
+		if done {
+			run, rerr := replay(schedule)
+			if rerr != nil {
+				err = rerr
+				return
+			}
+			runs++
+			if !visit(run) {
+				stopped = true
+			}
+			if limit > 0 && runs >= limit {
+				stopped = true
+			}
+			return
+		}
+		// Choice 1: a replica executes its next program step.
+		for r := 0; r < replicas && !stopped; r++ {
+			if pc[r] >= len(program[r]) {
+				continue
+			}
+			id := opID{replica: r, step: pc[r]}
+			visible := make([]opID, 0, len(applied[r]))
+			for o := range applied[r] {
+				if !isQuery(o) {
+					visible = append(visible, o)
+				}
+			}
+			origin[id] = visible
+			deliverable := !isQuery(id)
+			if deliverable {
+				generated = append(generated, id)
+			}
+			applied[r][id] = true
+			pc[r]++
+			schedule = append(schedule, scheduleAction{kind: "op", replica: r, step: id.step})
+
+			rec()
+
+			schedule = schedule[:len(schedule)-1]
+			pc[r]--
+			delete(applied[r], id)
+			if deliverable {
+				generated = generated[:len(generated)-1]
+			}
+			delete(origin, id)
+		}
+		// Choice 2: deliver a generated operation to a replica that has not
+		// applied it, provided causal delivery allows it.
+		for _, o := range generated {
+			if stopped {
+				break
+			}
+			for r := 0; r < replicas; r++ {
+				if stopped {
+					break
+				}
+				if applied[r][o] {
+					continue
+				}
+				causal := true
+				for _, dep := range origin[o] {
+					if !applied[r][dep] {
+						causal = false
+						break
+					}
+				}
+				if !causal {
+					continue
+				}
+				applied[r][o] = true
+				schedule = append(schedule, scheduleAction{kind: "deliver", replica: r, opReplica: o.replica, opStep: o.step})
+
+				rec()
+
+				schedule = schedule[:len(schedule)-1]
+				delete(applied[r], o)
+			}
+		}
+	}
+	rec()
+	return runs, err
+}

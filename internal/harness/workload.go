@@ -1,0 +1,157 @@
+// Package harness drives the experiments of the reproduction: random
+// workloads over the CRDT runtimes, the Figure 12 verification table, the
+// worked figures of the paper (2, 3, 5, 8, 9, 10, 13, 14 and the Section 3.3
+// client-reasoning exercise), and an exhaustive schedule explorer for small
+// programs. The cmd/ binaries and the benchmark suite are thin wrappers over
+// this package.
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ralin/internal/core"
+	"ralin/internal/crdt"
+	"ralin/internal/runtime"
+)
+
+// WorkloadConfig describes a random workload over one CRDT object.
+type WorkloadConfig struct {
+	// Seed seeds the workload generator.
+	Seed int64
+	// Ops is the number of operations issued.
+	Ops int
+	// Replicas is the number of replicas.
+	Replicas int
+	// Elems is the element alphabet for set- and register-like types.
+	Elems []string
+	// DeliveryProb is the per-step probability (in percent) of performing a
+	// propagation step between operations.
+	DeliveryProb int
+	// FinalDelivery delivers everything at the end of the workload.
+	FinalDelivery bool
+}
+
+// DefaultWorkload returns a small workload suitable for checker experiments:
+// exhaustive linearization search stays cheap below roughly a dozen
+// operations.
+func DefaultWorkload() WorkloadConfig {
+	return WorkloadConfig{
+		Seed:          1,
+		Ops:           8,
+		Replicas:      3,
+		Elems:         []string{"a", "b", "c"},
+		DeliveryProb:  40,
+		FinalDelivery: false,
+	}
+}
+
+func (c *WorkloadConfig) fill() {
+	if c.Ops <= 0 {
+		c.Ops = 8
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 3
+	}
+	if len(c.Elems) == 0 {
+		c.Elems = []string{"a", "b", "c"}
+	}
+	if c.DeliveryProb < 0 {
+		c.DeliveryProb = 0
+	}
+	if c.DeliveryProb > 100 {
+		c.DeliveryProb = 100
+	}
+}
+
+// RunRandom executes one random workload against the descriptor's runtime
+// (operation-based or state-based) and returns the resulting history.
+func RunRandom(d crdt.Descriptor, cfg WorkloadConfig) (*core.History, error) {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if d.OpType != nil {
+		sys := d.NewOpSystem(runtime.Config{Replicas: cfg.Replicas})
+		for i := 0; i < cfg.Ops; i++ {
+			if _, err := d.RandomOp(rng, sys, cfg.Elems); err != nil {
+				return nil, fmt.Errorf("%s workload: %w", d.Name, err)
+			}
+			if rng.Intn(100) < cfg.DeliveryProb {
+				sys.DeliverRandom(rng)
+			}
+		}
+		if cfg.FinalDelivery {
+			if err := sys.DeliverAll(); err != nil {
+				return nil, err
+			}
+		}
+		return sys.History(), nil
+	}
+	sys := d.NewSBSystem(runtime.Config{Replicas: cfg.Replicas})
+	for i := 0; i < cfg.Ops; i++ {
+		if _, err := d.RandomOp(rng, sys, cfg.Elems); err != nil {
+			return nil, fmt.Errorf("%s workload: %w", d.Name, err)
+		}
+		if rng.Intn(100) < cfg.DeliveryProb {
+			sys.ExchangeRandom(rng)
+		}
+	}
+	if cfg.FinalDelivery {
+		if err := sys.DeliverAll(); err != nil {
+			return nil, err
+		}
+	}
+	return sys.History(), nil
+}
+
+// HistoryCheck summarises checking a batch of random histories of one CRDT.
+type HistoryCheck struct {
+	// CRDT is the data type name.
+	CRDT string
+	// Histories is the number of histories generated and checked.
+	Histories int
+	// Operations is the total number of operations across all histories.
+	Operations int
+	// Linearizable counts the histories found RA-linearizable.
+	Linearizable int
+	// ByStrategy counts witnesses per constructive strategy; histories
+	// resolved only by the exhaustive search are counted under "exhaustive".
+	ByStrategy map[string]int
+	// FailureExample describes the first non-linearizable history, if any.
+	FailureExample string
+}
+
+// OK reports whether every history was RA-linearizable.
+func (h HistoryCheck) OK() bool { return h.Linearizable == h.Histories }
+
+// CheckRandomHistories generates trials random histories of the CRDT and
+// checks each for RA-linearizability with the descriptor's designated
+// strategy (falling back to the other strategy and a bounded exhaustive
+// search).
+func CheckRandomHistories(d crdt.Descriptor, trials int, cfg WorkloadConfig) (HistoryCheck, error) {
+	cfg.fill()
+	out := HistoryCheck{CRDT: d.Name, ByStrategy: map[string]int{}}
+	for i := 0; i < trials; i++ {
+		trialCfg := cfg
+		trialCfg.Seed = cfg.Seed + int64(i)*7919
+		h, err := RunRandom(d, trialCfg)
+		if err != nil {
+			return out, err
+		}
+		out.Histories++
+		out.Operations += h.Len()
+		res := core.CheckRA(h, d.Spec, d.CheckOptions())
+		if !res.OK {
+			if out.FailureExample == "" {
+				out.FailureExample = fmt.Sprintf("seed %d: %v", trialCfg.Seed, res.LastErr)
+			}
+			continue
+		}
+		out.Linearizable++
+		if res.Strategy != nil {
+			out.ByStrategy[res.Strategy.String()]++
+		} else {
+			out.ByStrategy["exhaustive"]++
+		}
+	}
+	return out, nil
+}

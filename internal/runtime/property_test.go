@@ -1,0 +1,180 @@
+package runtime
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ralin/internal/clock"
+)
+
+// randomCounterExecution drives a random op-based counter deployment and
+// returns the system (without a final full delivery).
+func randomCounterExecution(rng *rand.Rand, replicas, ops int) *System {
+	sys := NewSystem(testCounter{}, Config{Replicas: replicas})
+	for i := 0; i < ops; i++ {
+		r := clock.ReplicaID(rng.Intn(replicas))
+		switch rng.Intn(3) {
+		case 0:
+			sys.MustInvoke(r, "inc")
+		case 1:
+			sys.MustInvoke(r, "dec")
+		default:
+			sys.MustInvoke(r, "read")
+		}
+		if rng.Intn(2) == 0 {
+			sys.DeliverRandom(rng)
+		}
+	}
+	return sys
+}
+
+func TestOpSystemVisibilityIsCausallyClosed(t *testing.T) {
+	// Whatever is visible to an operation is also visible to every operation
+	// that sees it (transitivity through replica states under causal
+	// delivery).
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sys := randomCounterExecution(rng, 3, 10)
+		h := sys.History()
+		for _, a := range h.Labels() {
+			for _, b := range h.Labels() {
+				for _, c := range h.Labels() {
+					if h.Vis(a.ID, b.ID) && h.Vis(b.ID, c.ID) && !h.Vis(a.ID, c.ID) {
+						return false
+					}
+				}
+			}
+		}
+		return h.IsAcyclic()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpSystemSameReplicaOperationsAreOrdered(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sys := randomCounterExecution(rng, 3, 10)
+		h := sys.History()
+		labels := h.Labels()
+		for i := 0; i < len(labels); i++ {
+			for j := i + 1; j < len(labels); j++ {
+				a, b := labels[i], labels[j]
+				if a.Origin == b.Origin && a.GenSeq < b.GenSeq && !h.Vis(a.ID, b.ID) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpSystemConvergenceAfterFullDelivery(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sys := randomCounterExecution(rng, 2+rng.Intn(3), 12)
+		if err := sys.DeliverAll(); err != nil {
+			return false
+		}
+		return sys.Converged()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpSystemCounterValueMatchesOperationBalance(t *testing.T) {
+	// After convergence, every replica's value equals #inc − #dec: delivery
+	// is exactly-once regardless of the random delivery schedule.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sys := randomCounterExecution(rng, 3, 15)
+		if err := sys.DeliverAll(); err != nil {
+			return false
+		}
+		balance := int64(0)
+		for _, l := range sys.History().Labels() {
+			switch l.Method {
+			case "inc":
+				balance++
+			case "dec":
+				balance--
+			}
+		}
+		for _, r := range sys.Replicas() {
+			if got := sys.MustInvoke(r, "read").Ret.(int64); got != balance {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpSystemTimestampsConsistentWithVisibility(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sys := NewSystem(tsType{}, Config{Replicas: 3})
+		for i := 0; i < 10; i++ {
+			sys.MustInvoke(clock.ReplicaID(rng.Intn(3)), "op")
+			if rng.Intn(2) == 0 {
+				sys.DeliverRandom(rng)
+			}
+		}
+		h := sys.History()
+		for _, a := range h.Labels() {
+			for _, b := range h.Labels() {
+				if h.Vis(a.ID, b.ID) && !a.TS.Less(b.TS) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSBSystemMergeToleratesAnyMessagePattern(t *testing.T) {
+	// Random sends, duplicate and out-of-order deliveries never lose updates:
+	// after a final all-to-all exchange every replica holds the maximum of
+	// all written values.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sys := NewSBSystem(testMaxReg{}, Config{Replicas: 3})
+		max := int64(0)
+		for i := 0; i < 12; i++ {
+			v := int64(rng.Intn(100))
+			if v > max {
+				max = v
+			}
+			sys.MustInvoke(clock.ReplicaID(rng.Intn(3)), "write", v)
+			for k := 0; k < rng.Intn(3); k++ {
+				sys.ExchangeRandom(rng)
+			}
+		}
+		if err := sys.DeliverAll(); err != nil {
+			return false
+		}
+		if !sys.Converged() {
+			return false
+		}
+		for _, r := range sys.Replicas() {
+			if sys.MustInvoke(r, "read").Ret.(int64) != max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,397 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ralin/internal/clock"
+	"ralin/internal/core"
+)
+
+// --- a minimal op-based counter used only by the runtime tests ---
+
+type ctrState int64
+
+func (s ctrState) CloneState() State       { return s }
+func (s ctrState) EqualState(o State) bool { c, ok := o.(ctrState); return ok && c == s }
+func (s ctrState) String() string          { return fmt.Sprintf("%d", int64(s)) }
+
+type testCounter struct{}
+
+func (testCounter) Name() string { return "TestCounter" }
+
+func (testCounter) Methods() []MethodInfo {
+	return []MethodInfo{
+		{Name: "inc", Kind: core.KindUpdate},
+		{Name: "dec", Kind: core.KindUpdate},
+		{Name: "read", Kind: core.KindQuery},
+	}
+}
+
+func (testCounter) Init() State { return ctrState(0) }
+
+func (testCounter) Generate(s State, method string, args []core.Value, ts clock.Timestamp) (core.Value, Effector, error) {
+	switch method {
+	case "inc":
+		return nil, EffectorFunc{Name: "inc", F: func(st State) State { return st.(ctrState) + 1 }}, nil
+	case "dec":
+		return nil, EffectorFunc{Name: "dec", F: func(st State) State { return st.(ctrState) - 1 }}, nil
+	case "read":
+		return int64(s.(ctrState)), nil, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown method %q", method)
+	}
+}
+
+// --- a minimal state-based max register used only by the runtime tests ---
+
+type maxState int64
+
+func (s maxState) CloneState() State       { return s }
+func (s maxState) EqualState(o State) bool { m, ok := o.(maxState); return ok && m == s }
+func (s maxState) String() string          { return fmt.Sprintf("%d", int64(s)) }
+
+type testMaxReg struct{}
+
+func (testMaxReg) Name() string { return "TestMaxReg" }
+
+func (testMaxReg) Methods() []MethodInfo {
+	return []MethodInfo{
+		{Name: "write", Kind: core.KindUpdate},
+		{Name: "read", Kind: core.KindQuery},
+	}
+}
+
+func (testMaxReg) Init() State { return maxState(0) }
+
+func (testMaxReg) Apply(s State, method string, args []core.Value, ts clock.Timestamp, r clock.ReplicaID) (core.Value, State, error) {
+	switch method {
+	case "write":
+		v := args[0].(int64)
+		if maxState(v) > s.(maxState) {
+			return nil, maxState(v), nil
+		}
+		return nil, s, nil
+	case "read":
+		return int64(s.(maxState)), s, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown method %q", method)
+	}
+}
+
+func (testMaxReg) Merge(a, b State) State {
+	if a.(maxState) > b.(maxState) {
+		return a
+	}
+	return b
+}
+
+func (testMaxReg) Leq(a, b State) bool { return a.(maxState) <= b.(maxState) }
+
+// --- operation-based system tests ---
+
+func TestOpSystemLocalExecutionAndVisibility(t *testing.T) {
+	s := NewSystem(testCounter{}, Config{Replicas: 2})
+	inc := s.MustInvoke(0, "inc")
+	read := s.MustInvoke(0, "read")
+	if read.Ret != int64(1) {
+		t.Fatalf("read at origin must see the local inc, got %v", read.Ret)
+	}
+	// The other replica has not received the effector yet.
+	other := s.MustInvoke(1, "read")
+	if other.Ret != int64(0) {
+		t.Fatalf("read at the other replica must still be 0, got %v", other.Ret)
+	}
+	h := s.History()
+	if !h.Vis(inc.ID, read.ID) {
+		t.Fatal("local inc must be visible to the later local read")
+	}
+	if h.Vis(inc.ID, other.ID) {
+		t.Fatal("undelivered inc must not be visible at the other replica")
+	}
+}
+
+func TestOpSystemDeliveryAndConvergence(t *testing.T) {
+	s := NewSystem(testCounter{}, Config{Replicas: 3})
+	s.MustInvoke(0, "inc")
+	s.MustInvoke(1, "inc")
+	s.MustInvoke(2, "dec")
+	if s.Converged() {
+		t.Fatal("system must not be converged before delivery")
+	}
+	if err := s.DeliverAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Converged() {
+		t.Fatal("system must converge after full delivery")
+	}
+	for _, r := range s.Replicas() {
+		read := s.MustInvoke(r, "read")
+		if read.Ret != int64(1) {
+			t.Fatalf("replica %s read %v, want 1", r, read.Ret)
+		}
+	}
+}
+
+func TestOpSystemCausalDelivery(t *testing.T) {
+	s := NewSystem(testCounter{}, Config{Replicas: 2})
+	a := s.MustInvoke(0, "inc")
+	b := s.MustInvoke(0, "inc") // causally after a
+	// Delivering b before a at replica 1 must be rejected.
+	if err := s.Deliver(1, b.ID); err == nil {
+		t.Fatal("causal delivery violation must be rejected")
+	}
+	if !s.Deliverable(1, a.ID) || s.Deliverable(1, b.ID) {
+		t.Fatal("Deliverable must respect causal order")
+	}
+	if err := s.Deliver(1, a.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Deliver(1, b.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Re-delivery must be rejected (exactly-once application).
+	if err := s.Deliver(1, a.ID); err == nil {
+		t.Fatal("double delivery must be rejected")
+	}
+}
+
+func TestOpSystemDeliverRejectsQueriesAndUnknowns(t *testing.T) {
+	s := NewSystem(testCounter{}, Config{Replicas: 2})
+	q := s.MustInvoke(0, "read")
+	if err := s.Deliver(1, q.ID); err == nil {
+		t.Fatal("queries have no effector to deliver")
+	}
+	if err := s.Deliver(1, 999); err == nil {
+		t.Fatal("unknown label must be rejected")
+	}
+	if err := s.Deliver(99, q.ID); err == nil {
+		t.Fatal("unknown replica must be rejected")
+	}
+	if _, err := s.Invoke(0, "frobnicate"); err == nil {
+		t.Fatal("unknown method must be rejected")
+	}
+	if _, err := s.Invoke(42, "inc"); err == nil {
+		t.Fatal("unknown replica must be rejected")
+	}
+}
+
+func TestOpSystemEventsRecorded(t *testing.T) {
+	s := NewSystem(testCounter{}, Config{Replicas: 2, RecordEvents: true})
+	s.MustInvoke(0, "inc")
+	if err := s.DeliverAll(); err != nil {
+		t.Fatal(err)
+	}
+	events := s.Events()
+	if len(events) != 2 {
+		t.Fatalf("expected 2 events (generator + effector), got %d", len(events))
+	}
+	if events[0].Kind != EventGenerator || events[1].Kind != EventEffector {
+		t.Fatalf("unexpected event kinds %v %v", events[0].Kind, events[1].Kind)
+	}
+	if !events[0].Pre.EqualState(ctrState(0)) || !events[0].Post.EqualState(ctrState(1)) {
+		t.Fatal("generator event must record pre/post states")
+	}
+	if !events[1].Post.EqualState(ctrState(1)) {
+		t.Fatal("effector event must record the post state")
+	}
+}
+
+func TestOpSystemDeliverRandomEventuallyConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := NewSystem(testCounter{}, Config{Replicas: 3})
+	for i := 0; i < 9; i++ {
+		s.MustInvoke(clock.ReplicaID(i%3), "inc")
+	}
+	for s.DeliverRandom(rng) {
+	}
+	if !s.Converged() {
+		t.Fatal("random delivery to fixpoint must converge")
+	}
+	read := s.MustInvoke(0, "read")
+	if read.Ret != int64(9) {
+		t.Fatalf("converged value %v, want 9", read.Ret)
+	}
+}
+
+func TestOpSystemTimestampsMonotonePerHistory(t *testing.T) {
+	// A type whose single method generates timestamps.
+	s := NewSystem(tsType{}, Config{Replicas: 2})
+	a := s.MustInvoke(0, "op")
+	if err := s.DeliverAll(); err != nil {
+		t.Fatal(err)
+	}
+	b := s.MustInvoke(1, "op")
+	if !a.TS.Less(b.TS) {
+		t.Fatalf("timestamp of a later operation must be larger: %v vs %v", a.TS, b.TS)
+	}
+}
+
+// tsType is a trivial op-based type whose op records nothing but generates a
+// timestamp; it exists to test timestamp plumbing.
+type tsType struct{}
+
+func (tsType) Name() string { return "TsType" }
+func (tsType) Methods() []MethodInfo {
+	return []MethodInfo{{Name: "op", Kind: core.KindUpdate, GeneratesTimestamp: true}}
+}
+func (tsType) Init() State { return ctrState(0) }
+func (tsType) Generate(s State, method string, args []core.Value, ts clock.Timestamp) (core.Value, Effector, error) {
+	if ts.IsBottom() {
+		return nil, nil, fmt.Errorf("expected a timestamp")
+	}
+	return nil, EffectorFunc{Name: "op", F: func(st State) State { return st }}, nil
+}
+
+func TestMethodTable(t *testing.T) {
+	tbl := MethodTable(testCounter{}.Methods())
+	if len(tbl) != 3 || tbl["inc"].Kind != core.KindUpdate || tbl["read"].Kind != core.KindQuery {
+		t.Fatalf("method table wrong: %v", tbl)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if EventGenerator.String() != "generator" || EventEffector.String() != "effector" ||
+		EventMerge.String() != "merge" || EventKind(9).String() != "unknown" {
+		t.Fatal("event kind rendering wrong")
+	}
+}
+
+// --- state-based system tests ---
+
+func TestSBSystemLocalAndMerge(t *testing.T) {
+	s := NewSBSystem(testMaxReg{}, Config{Replicas: 2})
+	s.MustInvoke(0, "write", int64(5))
+	s.MustInvoke(1, "write", int64(3))
+	r0 := s.MustInvoke(0, "read")
+	r1 := s.MustInvoke(1, "read")
+	if r0.Ret != int64(5) || r1.Ret != int64(3) {
+		t.Fatalf("local reads wrong: %v %v", r0.Ret, r1.Ret)
+	}
+	if err := s.Broadcast(0); err != nil {
+		t.Fatal(err)
+	}
+	r1b := s.MustInvoke(1, "read")
+	if r1b.Ret != int64(5) {
+		t.Fatalf("after merge replica 1 must read 5, got %v", r1b.Ret)
+	}
+	// Visibility: replica 1's later read must see replica 0's write.
+	h := s.History()
+	w0 := h.Labels()[0]
+	if !h.Vis(w0.ID, r1b.ID) {
+		t.Fatal("merged write must become visible")
+	}
+}
+
+func TestSBSystemDuplicateAndReorderedMessages(t *testing.T) {
+	s := NewSBSystem(testMaxReg{}, Config{Replicas: 3})
+	s.MustInvoke(0, "write", int64(7))
+	m1, err := s.Send(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.MustInvoke(0, "write", int64(9))
+	m2, err := s.Send(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deliver the newer message first, then the older one twice: the state
+	// must remain the maximum.
+	for _, id := range []uint64{m2.ID, m1.ID, m1.ID} {
+		if err := s.Receive(1, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.MustInvoke(1, "read").Ret; got != int64(9) {
+		t.Fatalf("stale and duplicate messages must not regress the state, got %v", got)
+	}
+	if err := s.Receive(1, 424242); err == nil {
+		t.Fatal("unknown message must be rejected")
+	}
+	if err := s.Receive(99, m1.ID); err == nil {
+		t.Fatal("unknown replica must be rejected")
+	}
+}
+
+func TestSBSystemDeliverAllConverges(t *testing.T) {
+	s := NewSBSystem(testMaxReg{}, Config{Replicas: 4})
+	for i := 0; i < 4; i++ {
+		s.MustInvoke(clock.ReplicaID(i), "write", int64(i*10))
+	}
+	if s.Converged() {
+		t.Fatal("must not be converged before exchange")
+	}
+	if err := s.DeliverAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Converged() {
+		t.Fatal("must be converged after DeliverAll")
+	}
+	for _, r := range s.Replicas() {
+		if got := s.MustInvoke(r, "read").Ret; got != int64(30) {
+			t.Fatalf("replica %s read %v, want 30", r, got)
+		}
+	}
+}
+
+func TestSBSystemExchangeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := NewSBSystem(testMaxReg{}, Config{Replicas: 3})
+	s.MustInvoke(0, "write", int64(11))
+	for i := 0; i < 50; i++ {
+		s.ExchangeRandom(rng)
+	}
+	for _, r := range s.Replicas() {
+		if got := s.MustInvoke(r, "read").Ret; got != int64(11) {
+			t.Fatalf("replica %s read %v, want 11", r, got)
+		}
+	}
+}
+
+func TestSBSystemEventsRecorded(t *testing.T) {
+	s := NewSBSystem(testMaxReg{}, Config{Replicas: 2, RecordEvents: true})
+	s.MustInvoke(0, "write", int64(2))
+	if err := s.Broadcast(0); err != nil {
+		t.Fatal(err)
+	}
+	events := s.Events()
+	if len(events) != 2 {
+		t.Fatalf("expected 2 events, got %d", len(events))
+	}
+	if events[0].Kind != EventGenerator || events[1].Kind != EventMerge {
+		t.Fatalf("unexpected event kinds: %v %v", events[0].Kind, events[1].Kind)
+	}
+	if events[1].Incoming == nil || !events[1].Incoming.EqualState(maxState(2)) {
+		t.Fatal("merge event must record the incoming state")
+	}
+}
+
+func TestSBSystemErrors(t *testing.T) {
+	s := NewSBSystem(testMaxReg{}, Config{Replicas: 2})
+	if _, err := s.Invoke(5, "write", int64(1)); err == nil {
+		t.Fatal("unknown replica must be rejected")
+	}
+	if _, err := s.Invoke(0, "nope"); err == nil {
+		t.Fatal("unknown method must be rejected")
+	}
+	if _, err := s.Send(9); err == nil {
+		t.Fatal("unknown replica must be rejected on send")
+	}
+	if s.ReplicaState(9) != nil || s.Seen(9) != nil {
+		t.Fatal("unknown replica state must be nil")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	s := NewSystem(testCounter{}, Config{})
+	if len(s.Replicas()) != 2 {
+		t.Fatal("default replica count must be 2")
+	}
+	if s.ReplicaState(0) == nil || s.ReplicaState(5) != nil {
+		t.Fatal("replica state lookup wrong")
+	}
+	if s.Seen(5) != nil {
+		t.Fatal("unknown replica seen set must be nil")
+	}
+}

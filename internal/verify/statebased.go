@@ -1,0 +1,289 @@
+package verify
+
+import (
+	"math/rand"
+
+	"ralin/internal/core"
+	"ralin/internal/crdt"
+	"ralin/internal/runtime"
+)
+
+// CheckStateBased checks the Appendix D proof obligations for a state-based
+// CRDT by exploring random executions (with message duplication and
+// reordering) of its semantics. The exact property set depends on the CRDT's
+// local-effector class:
+//
+//   - uniquely-identified (D.3): Prop1 (concurrent local effectors commute),
+//     Prop2, Prop3 under the P1 freshness predicate, Prop4, Prop5, plus the
+//     consistency of the argument order with visibility;
+//   - cumulative (D.4): Prop'1 (all local effectors commute), Prop'2 under P2,
+//     Prop'3 unconditionally, Prop4, Prop5;
+//   - idempotent (D.5): the cumulative properties plus Prop6 (idempotence).
+//
+// In every class it also checks the refinement obligations (effector and
+// generator simulation through abs) and convergence.
+func CheckStateBased(d crdt.Descriptor, opts Options) Report {
+	opts.fill()
+	if d.SBType == nil || d.SB == nil {
+		return Report{CRDT: d.Name, Obligations: []Obligation{{
+			Name:       "setup",
+			Violations: []string{"descriptor is not state-based or lacks Appendix D artefacts"},
+		}}}
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	sb := d.SB
+
+	prop1 := newObligation("Prop1 (local effectors commute)")
+	prop2 := newObligation("Prop2 (merge vs fresh effector)")
+	prop3 := newObligation("Prop3 (merge of equal effectors)")
+	prop4 := newObligation("Prop4 (merge lattice laws)")
+	prop5 := newObligation("Prop5 (local effector = local step)")
+	prop6 := newObligation("Prop6 (idempotent effectors)")
+	argOrder := newObligation("Argument order vs visibility")
+	refinementEff := newObligation("Refinement (effectors)")
+	refinementGen := newObligation("Refinement (generators)")
+	convergence := newObligation("Convergence")
+
+	for trial := 0; trial < opts.Trials; trial++ {
+		sys := d.NewSBSystem(runtime.Config{Replicas: opts.Replicas, RecordEvents: true})
+		for i := 0; i < opts.Ops; i++ {
+			if _, err := d.RandomOp(rng, sys, opts.Elems); err != nil {
+				refinementGen.check(false, "workload operation failed: %v", err)
+				continue
+			}
+			for rng.Intn(3) == 0 && sys.ExchangeRandom(rng) {
+				break
+			}
+		}
+		if err := sys.DeliverAll(); err != nil {
+			convergence.check(false, "delivery failed: %v", err)
+			continue
+		}
+		convergence.check(sys.Converged(), "replicas diverged after full state exchange")
+
+		events := sys.Events()
+		hist := sys.History()
+		states := sampleStates(d, events, opts.MaxStates, rng)
+		updates := updateLabels(hist)
+
+		checkSBProp1(d, hist, states, updates, prop1)
+		checkSBProp23(d, states, updates, rng, prop2, prop3)
+		checkSBProp4(d, states, rng, prop4)
+		checkSBProp5(d, events, prop5)
+		if sb.EffClass == crdt.Idempotent {
+			checkSBProp6(d, states, updates, prop6)
+		}
+		if sb.EffClass == crdt.UniquelyIdentified {
+			checkSBArgOrder(d, hist, updates, argOrder)
+		}
+		checkSBRefinement(d, events, states, updates, refinementEff, refinementGen)
+	}
+
+	obligations := []Obligation{
+		prop1.build(), prop2.build(), prop3.build(), prop4.build(), prop5.build(),
+	}
+	if sb.EffClass == crdt.Idempotent {
+		obligations = append(obligations, prop6.build())
+	}
+	if sb.EffClass == crdt.UniquelyIdentified {
+		obligations = append(obligations, argOrder.build())
+	}
+	obligations = append(obligations, refinementEff.build(), refinementGen.build(), convergence.build())
+	return Report{CRDT: d.Name, Obligations: obligations}
+}
+
+// sampleStates collects reachable replica states from the event log (pre,
+// post and incoming message states), capped at max.
+func sampleStates(d crdt.Descriptor, events []runtime.Event, max int, rng *rand.Rand) []runtime.State {
+	states := []runtime.State{d.SBType.Init()}
+	for _, ev := range events {
+		states = append(states, ev.Pre, ev.Post)
+		if ev.Incoming != nil {
+			states = append(states, ev.Incoming)
+		}
+	}
+	if len(states) <= max {
+		return states
+	}
+	rng.Shuffle(len(states), func(i, j int) { states[i], states[j] = states[j], states[i] })
+	return states[:max]
+}
+
+// updateLabels returns the non-query labels of the history.
+func updateLabels(hist *core.History) []*core.Label {
+	var out []*core.Label
+	for _, l := range hist.Labels() {
+		if !l.IsQuery() {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// checkSBProp1 checks commutativity of local effectors: for the
+// uniquely-identified class only concurrent pairs are required to commute; for
+// the other classes every pair must.
+func checkSBProp1(d crdt.Descriptor, hist *core.History, states []runtime.State, updates []*core.Label, ob *obligationBuilder) {
+	sb := d.SB
+	for i := 0; i < len(updates); i++ {
+		for j := i + 1; j < len(updates); j++ {
+			a, b := updates[i], updates[j]
+			if sb.EffClass == crdt.UniquelyIdentified && !hist.Concurrent(a.ID, b.ID) {
+				continue
+			}
+			for _, st := range states {
+				ab := sb.LocalApply(sb.LocalApply(st, a), b)
+				ba := sb.LocalApply(sb.LocalApply(st, b), a)
+				ob.check(ab.EqualState(ba),
+					"local effectors of %v and %v do not commute on %s", a, b, st)
+			}
+		}
+	}
+}
+
+// checkSBProp23 checks the two merge-versus-effector laws on sampled state
+// pairs.
+func checkSBProp23(d crdt.Descriptor, states []runtime.State, updates []*core.Label, rng *rand.Rand, prop2, prop3 *obligationBuilder) {
+	sb := d.SB
+	if len(states) == 0 || len(updates) == 0 {
+		return
+	}
+	pairs := len(states)
+	for k := 0; k < pairs; k++ {
+		s1 := states[rng.Intn(len(states))]
+		s2 := states[rng.Intn(len(states))]
+		l := updates[rng.Intn(len(updates))]
+		// Prop2: merging a state with a state extended by a fresh effector is
+		// the same as extending the merge.
+		if sb.Fresh(s1, l) && sb.Fresh(s2, l) {
+			left := d.SBType.Merge(s1, sb.LocalApply(s2, l))
+			right := sb.LocalApply(d.SBType.Merge(s1, s2), l)
+			prop2.check(left.EqualState(right),
+				"Prop2 fails for %v on states %s and %s", l, s1, s2)
+		}
+		// Prop3: merging two states extended by the same effector is the same
+		// as extending the merge. For the uniquely-identified class this is
+		// required under the freshness predicate only.
+		if sb.EffClass != crdt.UniquelyIdentified || (sb.Fresh(s1, l) && sb.Fresh(s2, l)) {
+			left := d.SBType.Merge(sb.LocalApply(s1, l), sb.LocalApply(s2, l))
+			right := sb.LocalApply(d.SBType.Merge(s1, s2), l)
+			prop3.check(left.EqualState(right),
+				"Prop3 fails for %v on states %s and %s", l, s1, s2)
+		}
+	}
+}
+
+// checkSBProp4 checks the lattice laws of merge: commutativity, idempotence
+// and neutrality of the initial state with itself.
+func checkSBProp4(d crdt.Descriptor, states []runtime.State, rng *rand.Rand, ob *obligationBuilder) {
+	init := d.SBType.Init()
+	ob.check(d.SBType.Merge(init, init).EqualState(init), "merge(σ0, σ0) ≠ σ0")
+	for k := 0; k < len(states); k++ {
+		s1 := states[rng.Intn(len(states))]
+		s2 := states[rng.Intn(len(states))]
+		ob.check(d.SBType.Merge(s1, s2).EqualState(d.SBType.Merge(s2, s1)),
+			"merge not commutative on %s and %s", s1, s2)
+		ob.check(d.SBType.Merge(s1, s1).EqualState(s1),
+			"merge not idempotent on %s", s1)
+		// Merge is an upper bound in the compare order.
+		m := d.SBType.Merge(s1, s2)
+		ob.check(d.SBType.Leq(s1, m) && d.SBType.Leq(s2, m),
+			"merge of %s and %s is not an upper bound", s1, s2)
+	}
+}
+
+// checkSBProp5 checks that executing an operation at its origin replica has
+// the same effect as its local effector.
+func checkSBProp5(d crdt.Descriptor, events []runtime.Event, ob *obligationBuilder) {
+	for _, ev := range events {
+		if ev.Kind != runtime.EventGenerator || ev.Label == nil || ev.Label.IsQuery() {
+			continue
+		}
+		got := d.SB.LocalApply(ev.Pre, ev.Label)
+		ob.check(got.EqualState(ev.Post),
+			"local effector of %v disagrees with the implementation: %s vs %s",
+			ev.Label, got, ev.Post)
+	}
+}
+
+// checkSBProp6 checks idempotence of local effectors (idempotent class only).
+func checkSBProp6(d crdt.Descriptor, states []runtime.State, updates []*core.Label, ob *obligationBuilder) {
+	sb := d.SB
+	for _, l := range updates {
+		for _, st := range states {
+			once := sb.LocalApply(st, l)
+			twice := sb.LocalApply(once, l)
+			ob.check(twice.EqualState(once), "local effector of %v is not idempotent on %s", l, st)
+		}
+	}
+}
+
+// checkSBArgOrder checks, for the uniquely-identified class, that distinct
+// operations carry distinct local-effector arguments and that the order on
+// arguments is consistent with visibility (Lemma E.1).
+func checkSBArgOrder(d crdt.Descriptor, hist *core.History, updates []*core.Label, ob *obligationBuilder) {
+	sb := d.SB
+	for i := 0; i < len(updates); i++ {
+		for j := 0; j < len(updates); j++ {
+			if i == j {
+				continue
+			}
+			a, b := updates[i], updates[j]
+			if i < j {
+				ob.check(!sb.ArgEqual(a, b),
+					"distinct operations %v and %v carry equal arguments", a, b)
+			}
+			if hist.Vis(a.ID, b.ID) {
+				ob.check(sb.ArgLess(a, b),
+					"visibility %v -> %v not reflected in the argument order", a, b)
+			}
+		}
+	}
+}
+
+// checkSBRefinement checks the refinement obligations: generator events are
+// simulated through abs, and fresh local effectors are simulated by the
+// rewritten specification operation on sampled reachable states.
+func checkSBRefinement(d crdt.Descriptor, events []runtime.Event, states []runtime.State, updates []*core.Label, effOb, genOb *obligationBuilder) {
+	for _, ev := range events {
+		if ev.Kind != runtime.EventGenerator || ev.Label == nil {
+			continue
+		}
+		l := ev.Label
+		qry, upd, err := rewriteParts(d, l)
+		if err != nil {
+			genOb.check(false, "rewriting %v failed: %v", l, err)
+			continue
+		}
+		if l.IsQuery() {
+			genOb.check(simulatedQuery(d, ev.Pre, qry),
+				"query %v is not simulated by %s on abstract state %s", l, d.Spec.Name(), d.Abs(ev.Pre))
+			continue
+		}
+		effOb.check(simulatedUpdate(d, ev.Pre, ev.Post, upd),
+			"origin step of %v is not simulated by %s: abs(pre)=%s abs(post)=%s",
+			l, d.Spec.Name(), d.Abs(ev.Pre), d.Abs(ev.Post))
+	}
+	// Local effectors applied to arbitrary fresh states are simulated too
+	// (the Refinement_v obligation of Appendix D.3). States that already
+	// incorporate the operation's effect are skipped: re-applying an effector
+	// is outside the obligation (each effector contributes once per state in
+	// Lemma D.1's decomposition).
+	for _, l := range updates {
+		_, upd, err := rewriteParts(d, l)
+		if err != nil || upd == nil {
+			continue
+		}
+		for _, st := range states {
+			if !d.SB.Fresh(st, l) {
+				continue
+			}
+			post := d.SB.LocalApply(st, l)
+			if post.EqualState(st) {
+				continue
+			}
+			effOb.check(simulatedUpdate(d, st, post, upd),
+				"fresh local effector of %v is not simulated by %s on %s", l, d.Spec.Name(), st)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package verify
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ralin/internal/clock"
+	"ralin/internal/core"
+	"ralin/internal/crdt"
+	"ralin/internal/crdt/counter"
+	"ralin/internal/crdt/registry"
+	"ralin/internal/runtime"
+	"ralin/internal/spec"
+)
+
+func quickOptions() Options {
+	return Options{Seed: 7, Trials: 6, Ops: 8, Replicas: 3, Elems: []string{"a", "b"}, MaxStates: 25}
+}
+
+func TestCheckOpBasedAllFig12OpTypes(t *testing.T) {
+	for _, d := range registry.Fig12() {
+		if d.Class != crdt.OpBased {
+			continue
+		}
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			report := CheckOpBased(d, quickOptions())
+			if !report.OK() {
+				t.Fatalf("proof obligations failed:\n%s", report)
+			}
+			for _, o := range report.Obligations {
+				if o.Checked == 0 && !strings.Contains(o.Name, "generators") {
+					t.Fatalf("obligation %q checked nothing", o.Name)
+				}
+			}
+		})
+	}
+}
+
+func TestCheckStateBasedAllFig12SBTypes(t *testing.T) {
+	for _, d := range registry.Fig12() {
+		if d.Class != crdt.StateBased {
+			continue
+		}
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			report := CheckStateBased(d, quickOptions())
+			if !report.OK() {
+				t.Fatalf("proof obligations failed:\n%s", report)
+			}
+			if _, ok := report.Find("Prop5 (local effector = local step)"); !ok {
+				t.Fatal("Prop5 missing from the report")
+			}
+		})
+	}
+}
+
+func TestCheckOpBasedRejectsStateBasedDescriptor(t *testing.T) {
+	for _, d := range registry.Fig12() {
+		if d.Class == crdt.StateBased {
+			if r := CheckOpBased(d, quickOptions()); r.OK() {
+				t.Fatalf("%s: CheckOpBased must reject a state-based descriptor", d.Name)
+			}
+			break
+		}
+	}
+}
+
+func TestCheckStateBasedRejectsOpBasedDescriptor(t *testing.T) {
+	if r := CheckStateBased(counter.Descriptor(), quickOptions()); r.OK() {
+		t.Fatal("CheckStateBased must reject an operation-based descriptor")
+	}
+}
+
+// brokenCounter is a deliberately wrong op-based counter whose inc effector is
+// not simulated by Spec(Counter): it adds two instead of one. The Refinement
+// obligation must catch it.
+type brokenCounter struct{ counter.Type }
+
+func (brokenCounter) Generate(s runtime.State, method string, args []core.Value, ts clock.Timestamp) (core.Value, runtime.Effector, error) {
+	if method == "inc" {
+		return nil, runtime.EffectorFunc{Name: "eff-inc2", F: func(x runtime.State) runtime.State {
+			return x.(counter.State) + 2
+		}}, nil
+	}
+	return counter.Type{}.Generate(s, method, args, ts)
+}
+
+func TestRefinementCatchesWrongEffector(t *testing.T) {
+	d := counter.Descriptor()
+	d.OpType = brokenCounter{}
+	report := CheckOpBased(d, quickOptions())
+	if report.OK() {
+		t.Fatal("broken counter must fail verification")
+	}
+	o, ok := report.Find("Refinement (effectors)")
+	if !ok || o.OK() {
+		t.Fatalf("the effector refinement obligation must be the one failing:\n%s", report)
+	}
+}
+
+// nonCommutativeType is a deliberately wrong op-based register whose writes
+// last-write-wins by *arrival order*, so concurrent effectors do not commute
+// and replicas diverge.
+type nonCommutativeType struct{}
+
+type ncState string
+
+func (s ncState) CloneState() runtime.State       { return s }
+func (s ncState) EqualState(o runtime.State) bool { c, ok := o.(ncState); return ok && c == s }
+func (s ncState) String() string                  { return string(s) }
+
+func (nonCommutativeType) Name() string { return "ArrivalOrderRegister" }
+func (nonCommutativeType) Methods() []runtime.MethodInfo {
+	return []runtime.MethodInfo{
+		{Name: "write", Kind: core.KindUpdate},
+		{Name: "read", Kind: core.KindQuery},
+	}
+}
+func (nonCommutativeType) Init() runtime.State { return ncState("") }
+func (nonCommutativeType) Generate(s runtime.State, method string, args []core.Value, ts clock.Timestamp) (core.Value, runtime.Effector, error) {
+	switch method {
+	case "write":
+		v := args[0].(string)
+		return nil, runtime.EffectorFunc{Name: "eff-write", F: func(runtime.State) runtime.State {
+			return ncState(v)
+		}}, nil
+	case "read":
+		return string(s.(ncState)), nil, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown method %q", method)
+	}
+}
+
+func TestCommutativityCatchesArrivalOrderRegister(t *testing.T) {
+	d := crdt.Descriptor{
+		Name:   "ArrivalOrderRegister",
+		Source: "verify test",
+		Class:  crdt.OpBased,
+		Lin:    crdt.ExecutionOrder,
+		OpType: nonCommutativeType{},
+		Spec:   spec.Register{},
+		Abs:    func(s runtime.State) core.AbsState { return spec.RegisterState(s.(ncState)) },
+	}
+	// Two concurrent writes form the smallest witness: their effectors do not
+	// commute and, after full delivery, the replicas disagree.
+	sys := runtime.NewSystem(d.OpType, runtime.Config{Replicas: 2, RecordEvents: true})
+	sys.MustInvoke(0, "write", "left")
+	sys.MustInvoke(1, "write", "right")
+	if err := sys.DeliverAll(); err != nil {
+		t.Fatal(err)
+	}
+	commutativity := newObligation("Commutativity")
+	convergence := newObligation("Convergence")
+	convergence.check(sys.Converged(), "replicas diverged")
+	checkOpCommutativity(d, sys, sys.History(), sys.Events(), commutativity)
+	report := Report{CRDT: d.Name, Obligations: []Obligation{commutativity.build(), convergence.build()}}
+	if report.OK() {
+		t.Fatalf("arrival-order register must fail verification:\n%s", report)
+	}
+	c, _ := report.Find("Commutativity")
+	v, _ := report.Find("Convergence")
+	if c.OK() && v.OK() {
+		t.Fatalf("expected commutativity or convergence to fail:\n%s", report)
+	}
+}
+
+func TestObligationAndReportRendering(t *testing.T) {
+	ob := newObligation("Example")
+	ob.check(true, "never shown")
+	ob.check(false, "bad thing %d", 7)
+	built := ob.build()
+	if built.OK() || built.Checked != 2 {
+		t.Fatalf("builder wrong: %+v", built)
+	}
+	if !strings.Contains(built.String(), "FAILED") || !strings.Contains(built.String(), "bad thing 7") {
+		t.Fatalf("rendering wrong: %s", built)
+	}
+	okOb := Obligation{Name: "Fine", Checked: 3}
+	if !strings.Contains(okOb.String(), "ok") {
+		t.Fatal("ok rendering wrong")
+	}
+	rep := Report{CRDT: "X", Obligations: []Obligation{okOb, built}}
+	if rep.OK() {
+		t.Fatal("report with a failed obligation must not be OK")
+	}
+	if !strings.Contains(rep.String(), "X:") || !strings.Contains(rep.String(), "Example") {
+		t.Fatalf("report rendering wrong: %s", rep)
+	}
+	if _, ok := rep.Find("Missing"); ok {
+		t.Fatal("Find must miss unknown obligations")
+	}
+}
+
+func TestViolationListIsBounded(t *testing.T) {
+	ob := newObligation("Bounded")
+	for i := 0; i < 100; i++ {
+		ob.check(false, "violation %d", i)
+	}
+	built := ob.build()
+	if built.Checked != 100 {
+		t.Fatalf("checked count wrong: %d", built.Checked)
+	}
+	if len(built.Violations) > 11 {
+		t.Fatalf("violation list must stay bounded, got %d", len(built.Violations))
+	}
+}
+
+func TestDefaultOptionsFill(t *testing.T) {
+	var o Options
+	o.fill()
+	if o.Trials == 0 || o.Ops == 0 || o.Replicas == 0 || len(o.Elems) == 0 || o.MaxStates == 0 {
+		t.Fatalf("fill left zero values: %+v", o)
+	}
+	d := DefaultOptions()
+	if d.Trials == 0 || d.MaxStates == 0 {
+		t.Fatal("DefaultOptions wrong")
+	}
+}

@@ -1,0 +1,83 @@
+// Package ralin is the public façade of the Replication-Aware Linearizability
+// reproduction (Enea, Mutluergil, Petri, Wang — PLDI 2019). It re-exports the
+// most common entry points of the library:
+//
+//   - Check: decide whether a history of a CRDT object is RA-linearizable
+//     with respect to its sequential specification (Definition 3.7), using
+//     the object's designated linearization strategy;
+//   - Verify: discharge the paper's proof obligations (Commutativity,
+//     Refinement / Refinement_ts, and the Appendix D properties for
+//     state-based objects) on randomized executions;
+//   - Table: regenerate the Figure 12 verification table;
+//   - Experiments: regenerate the worked figures (2, 3, 5a/5b, 8, 9, 10, 13,
+//     14 and the Section 3.3 client-reasoning exercise).
+//
+// The building blocks live in the internal packages:
+//
+//	internal/clock     timestamps, version vectors, identifier sources
+//	internal/core      labels, histories, specifications, the checker
+//	internal/runtime   the operation-based and state-based semantics
+//	internal/spec      the sequential specifications of every data type
+//	internal/crdt/...  the nine CRDTs of Figure 12 plus the RGA addAt variant
+//	internal/verify    the executable proof obligations
+//	internal/compose   the ⊗ and ⊗ts object compositions
+//	internal/harness   workloads, experiments, figure reproductions
+package ralin
+
+import (
+	"ralin/internal/core"
+	"ralin/internal/crdt"
+	"ralin/internal/crdt/registry"
+	"ralin/internal/harness"
+	"ralin/internal/verify"
+)
+
+// Descriptor describes one CRDT implementation: its executable type, its
+// sequential specification, its query-update rewriting, its refinement
+// mapping and its linearization class.
+type Descriptor = crdt.Descriptor
+
+// History is a set of operation labels with their visibility relation.
+type History = core.History
+
+// Result is the outcome of an RA-linearizability check.
+type Result = core.Result
+
+// Experiment is the outcome of reproducing one of the paper's figures.
+type Experiment = harness.Experiment
+
+// Report is the outcome of checking a CRDT's proof obligations.
+type Report = verify.Report
+
+// CRDTs returns the descriptors of every implemented CRDT (the nine rows of
+// Figure 12 followed by the RGA addAt variant of Appendix C).
+func CRDTs() []Descriptor { return registry.All() }
+
+// Lookup returns the descriptor of the named CRDT (for example "RGA",
+// "OR-Set", "PN-Counter").
+func Lookup(name string) (Descriptor, error) { return registry.Lookup(name) }
+
+// Check decides whether the history is RA-linearizable with respect to the
+// CRDT's sequential specification, trying the type's designated linearization
+// strategy first and falling back to a bounded exhaustive search.
+func Check(d Descriptor, h *History) Result {
+	return core.CheckRA(h, d.Spec, d.CheckOptions())
+}
+
+// Verify discharges the paper's proof obligations for the CRDT on randomized
+// executions: Commutativity and Refinement(_ts) for operation-based types,
+// the Appendix D properties for state-based ones.
+func Verify(d Descriptor) Report {
+	if d.Class == crdt.StateBased {
+		return verify.CheckStateBased(d, verify.DefaultOptions())
+	}
+	return verify.CheckOpBased(d, verify.DefaultOptions())
+}
+
+// Table regenerates the Figure 12 table with default workloads.
+func Table() ([]harness.Fig12Row, error) {
+	return harness.Fig12Table(harness.DefaultFig12Options())
+}
+
+// Experiments regenerates every worked figure of the paper.
+func Experiments() []Experiment { return harness.Experiments() }
