@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test bench lint fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# One pass over every benchmark, asserting the figure reproductions still
+# match the paper (the CI smoke run).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+lint:
+	$(GO) vet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+fmt:
+	gofmt -w .

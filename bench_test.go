@@ -15,6 +15,7 @@ import (
 	"ralin/internal/crdt"
 	"ralin/internal/crdt/registry"
 	"ralin/internal/harness"
+	"ralin/internal/spec"
 	"ralin/internal/verify"
 )
 
@@ -190,7 +191,8 @@ func BenchmarkConstructiveVsExhaustive(b *testing.B) {
 		opts core.CheckOptions
 	}{
 		{"constructive", core.CheckOptions{Strategies: []core.Strategy{core.StrategyTimestampOrder}}},
-		{"exhaustive", core.CheckOptions{Exhaustive: true, MaxExtensions: 500000}},
+		{"exhaustive-legacy", core.CheckOptions{Exhaustive: true, MaxExtensions: 500000, Engine: core.EngineLegacy}},
+		{"exhaustive-pruned", core.CheckOptions{Exhaustive: true, MaxExtensions: 500000, Engine: core.EnginePruned}},
 	}
 	for _, v := range variants {
 		v := v
@@ -202,6 +204,60 @@ func BenchmarkConstructiveVsExhaustive(b *testing.B) {
 					b.Fatalf("history not RA-linearizable under %s: %v", v.name, res.LastErr)
 				}
 			}
+		})
+	}
+}
+
+// nonLinearizableHistory builds the adversarial history of the engine
+// comparison: k concurrent counter increments all visible to one read that
+// returns an impossible value. The legacy enumerator validates all k!
+// extensions before rejecting; the pruned engine's memoization collapses the
+// commuting prefixes to the 2^k distinct frontier sets.
+func nonLinearizableHistory(k int) *core.History {
+	h := core.NewHistory()
+	for i := 1; i <= k; i++ {
+		h.MustAdd(&core.Label{ID: uint64(i), Method: "inc", Kind: core.KindUpdate, GenSeq: uint64(i)})
+	}
+	r := h.MustAdd(&core.Label{ID: uint64(k + 1), Method: "read", Ret: int64(999), Kind: core.KindQuery, GenSeq: uint64(k + 1)})
+	for i := 1; i <= k; i++ {
+		h.MustAddVis(uint64(i), r.ID)
+	}
+	return h
+}
+
+// BenchmarkEngineNonLinearizable compares the pruned engine against the
+// legacy enumerator on a non-RA-linearizable history, where the whole search
+// space must be refuted. Candidate checks per refutation are reported as the
+// "checks/refute" metric (Result.Tried for legacy, Result.Nodes for pruned);
+// see BENCHMARKS.md for committed numbers.
+func BenchmarkEngineNonLinearizable(b *testing.B) {
+	h := nonLinearizableHistory(7)
+	sp := spec.Counter{}
+	variants := []struct {
+		name string
+		opts core.CheckOptions
+	}{
+		{"legacy", core.CheckOptions{Exhaustive: true, Engine: core.EngineLegacy}},
+		{"pruned", core.CheckOptions{Exhaustive: true, Engine: core.EnginePruned}},
+		{"pruned-seq", core.CheckOptions{Exhaustive: true, Engine: core.EnginePruned, Parallelism: 1}},
+	}
+	for _, v := range variants {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			checks := 0
+			for i := 0; i < b.N; i++ {
+				res := core.CheckRA(h, sp, v.opts)
+				if res.OK || !res.Complete {
+					b.Fatalf("history must be refuted completely: %+v", res)
+				}
+				if res.Nodes > 0 {
+					checks = res.Nodes
+				} else {
+					checks = res.Tried
+				}
+			}
+			b.ReportMetric(float64(checks), "checks/refute")
 		})
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"ralin/internal/core"
 	"ralin/internal/crdt/registry"
 	"ralin/internal/harness"
 )
@@ -25,6 +26,8 @@ func main() {
 	replicas := flag.Int("replicas", 3, "replicas per history")
 	seed := flag.Int64("seed", 1, "workload seed")
 	delivery := flag.Int("delivery", 40, "probability (percent) of a propagation step between operations")
+	engine := flag.String("engine", "auto", "exhaustive-search engine: auto, pruned or legacy")
+	parallel := flag.Int("parallel", 0, "pruned-engine worker goroutines (0 = GOMAXPROCS)")
 	list := flag.Bool("list", false, "list the registered CRDTs and exit")
 	flag.Parse()
 
@@ -34,6 +37,13 @@ func main() {
 		}
 		return
 	}
+
+	eng, err := core.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ralin-check:", err)
+		os.Exit(1)
+	}
+	harness.SetCheckEngine(eng, *parallel)
 
 	d, err := registry.Lookup(*name)
 	if err != nil {
@@ -57,6 +67,10 @@ func main() {
 	fmt.Printf("  RA-linearizable:     %d\n", res.Linearizable)
 	for strategy, n := range res.ByStrategy {
 		fmt.Printf("    via %-18s %d\n", strategy+":", n)
+	}
+	fmt.Printf("  candidates tried:    %d (engine %s)\n", res.Tried, core.ResolveEngine(eng))
+	if res.Nodes > 0 {
+		fmt.Printf("  search nodes:        %d explored, %d pruned, %d memo hits\n", res.Nodes, res.Pruned, res.MemoHits)
 	}
 	if !res.OK() {
 		fmt.Printf("  FIRST FAILURE: %s\n", res.FailureExample)

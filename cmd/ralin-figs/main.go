@@ -20,13 +20,23 @@ import (
 	"os"
 	"strings"
 
+	"ralin/internal/core"
 	"ralin/internal/harness"
 )
 
 func main() {
 	fig := flag.String("fig", "", "single figure to reproduce (for example \"5a\" or \"fig-5a\")")
 	list := flag.Bool("list", false, "list experiment identifiers and exit")
+	engine := flag.String("engine", "auto", "exhaustive-search engine: auto, pruned or legacy")
+	parallel := flag.Int("parallel", 0, "pruned-engine worker goroutines (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	eng, err := core.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ralin-figs:", err)
+		os.Exit(1)
+	}
+	harness.SetCheckEngine(eng, *parallel)
 
 	if *list {
 		for _, id := range harness.ExperimentIDs() {

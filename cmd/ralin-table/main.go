@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"ralin/internal/core"
 	"ralin/internal/harness"
 	"ralin/internal/verify"
 )
@@ -26,7 +27,16 @@ func main() {
 	histories := flag.Int("histories", 25, "random histories checked for RA-linearizability per CRDT")
 	seed := flag.Int64("seed", 1, "workload seed")
 	details := flag.Bool("details", false, "print per-obligation details below the table")
+	engine := flag.String("engine", "auto", "exhaustive-search engine: auto, pruned or legacy")
+	parallel := flag.Int("parallel", 0, "pruned-engine worker goroutines (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	eng, err := core.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ralin-table:", err)
+		os.Exit(1)
+	}
+	harness.SetCheckEngine(eng, *parallel)
 
 	opts := harness.Fig12Options{
 		Verify: verify.Options{

@@ -10,6 +10,11 @@
 //	ralin-verify -crdt RGA [-trials N] [-ops N] [-replicas N] [-seed N]
 //	ralin-verify -all
 //	ralin-verify -list
+//
+// Alongside the deductive obligations, -histories N (default 10) RA-checks N
+// random histories of each verified CRDT with the configured search engine
+// (-engine, -parallel), tying the obligation run to the checker the rest of
+// the toolchain uses.
 package main
 
 import (
@@ -17,8 +22,10 @@ import (
 	"fmt"
 	"os"
 
+	"ralin/internal/core"
 	"ralin/internal/crdt"
 	"ralin/internal/crdt/registry"
+	"ralin/internal/harness"
 	"ralin/internal/verify"
 )
 
@@ -29,6 +36,9 @@ func main() {
 	ops := flag.Int("ops", 10, "operations per execution")
 	replicas := flag.Int("replicas", 3, "replicas per execution")
 	seed := flag.Int64("seed", 1, "workload seed")
+	histories := flag.Int("histories", 10, "random histories RA-checked per CRDT after the obligations (0 disables)")
+	engine := flag.String("engine", "auto", "exhaustive-search engine: auto, pruned or legacy")
+	parallel := flag.Int("parallel", 0, "pruned-engine worker goroutines (0 = GOMAXPROCS)")
 	list := flag.Bool("list", false, "list the registered CRDTs and exit")
 	flag.Parse()
 
@@ -38,6 +48,13 @@ func main() {
 		}
 		return
 	}
+
+	eng, err := core.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ralin-verify:", err)
+		os.Exit(1)
+	}
+	harness.SetCheckEngine(eng, *parallel)
 	opts := verify.Options{
 		Seed:      *seed,
 		Trials:    *trials,
@@ -70,6 +87,24 @@ func main() {
 		fmt.Print(report)
 		if !report.OK() {
 			failed++
+		}
+		if *histories > 0 {
+			cfg := harness.WorkloadConfig{
+				Seed: *seed, Ops: *ops, Replicas: *replicas,
+				Elems: []string{"a", "b", "c"}, DeliveryProb: 40,
+			}
+			hc, err := harness.CheckRandomHistories(d, *histories, cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ralin-verify:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("  %-28s %6d checked  ", "RA-Linearizable(random)", hc.Histories)
+			if hc.OK() {
+				fmt.Printf("ok (%d candidates, engine %s)\n", hc.Tried, core.ResolveEngine(eng))
+			} else {
+				fmt.Printf("FAILED (%s)\n", hc.FailureExample)
+				failed++
+			}
 		}
 	}
 	if failed > 0 {

@@ -18,6 +18,9 @@ import (
 	"ralin/internal/core"
 	"ralin/internal/crdt/rga"
 	"ralin/internal/runtime"
+
+	// Activates the pruned search engine for core.CheckRA.
+	_ "ralin/internal/search"
 )
 
 const (

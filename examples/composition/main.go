@@ -18,6 +18,9 @@ import (
 	"ralin/internal/core"
 	"ralin/internal/crdt/orset"
 	"ralin/internal/crdt/pncounter"
+
+	// Activates the pruned search engine for core.CheckRA.
+	_ "ralin/internal/search"
 )
 
 func main() {

@@ -12,6 +12,9 @@ import (
 	"ralin/internal/core"
 	"ralin/internal/crdt/orset"
 	"ralin/internal/runtime"
+
+	// Activates the pruned search engine for core.CheckRA.
+	_ "ralin/internal/search"
 )
 
 func main() {

@@ -1,0 +1,3 @@
+module ralin
+
+go 1.24

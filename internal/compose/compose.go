@@ -409,6 +409,29 @@ func (p ProductState) String() string {
 	return "⟨" + strings.Join(parts, " ") + "⟩"
 }
 
+// StateKey returns the canonical key (component keys in name order), enabling
+// search memoization. A composition is keyable only when every component is.
+func (p ProductState) StateKey() (string, bool) {
+	names := make([]string, 0, len(p))
+	for k := range p {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		keyer, ok := p[n].(core.StateKeyer)
+		if !ok {
+			return "", false
+		}
+		key, ok := keyer.StateKey()
+		if !ok {
+			return "", false
+		}
+		fmt.Fprintf(&b, "%s=%q;", n, key)
+	}
+	return b.String(), true
+}
+
 // Init returns the tuple of initial states.
 func (s *Spec) Init() core.AbsState {
 	p := ProductState{}

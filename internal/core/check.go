@@ -30,6 +30,51 @@ func (s Strategy) String() string {
 	}
 }
 
+// Engine selects the algorithm used by the exhaustive phase of the checker.
+type Engine int
+
+const (
+	// EngineAuto uses the pruned backtracking engine when one is registered
+	// (importing internal/search registers it) and falls back to the legacy
+	// enumerator otherwise.
+	EngineAuto Engine = iota
+	// EnginePruned selects the incremental pruned DFS over linear extensions.
+	// Falls back to the legacy enumerator when no engine is registered.
+	EnginePruned
+	// EngineLegacy selects the generate-then-test enumerator that validates
+	// every complete linear extension from scratch. Kept as the oracle for
+	// differential testing of the pruned engine.
+	EngineLegacy
+)
+
+// String renders the engine name.
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EnginePruned:
+		return "pruned"
+	case EngineLegacy:
+		return "legacy"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// ParseEngine parses an engine name as accepted by the cmd/ralin-* flags.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "auto", "":
+		return EngineAuto, nil
+	case "pruned":
+		return EnginePruned, nil
+	case "legacy", "exhaustive":
+		return EngineLegacy, nil
+	default:
+		return EngineAuto, fmt.Errorf("unknown engine %q (want auto, pruned or legacy)", s)
+	}
+}
+
 // CheckOptions configures the RA-linearizability checker.
 type CheckOptions struct {
 	// Rewriting is the query-update rewriting γ to apply before checking.
@@ -45,6 +90,20 @@ type CheckOptions struct {
 	// MaxExtensions caps the number of linear extensions explored by the
 	// exhaustive search. Zero means no cap.
 	MaxExtensions int
+	// Engine selects the algorithm used for the exhaustive phase.
+	Engine Engine
+	// Parallelism bounds the number of worker goroutines the pruned engine
+	// fans the top-level branches across. Zero means GOMAXPROCS; one forces a
+	// sequential search.
+	Parallelism int
+	// MaxNodes caps the number of prefix nodes the pruned engine explores.
+	// Zero derives a budget from MaxExtensions (3× — an unpruned prefix tree
+	// has at most e·n! nodes against n! complete extensions); a negative
+	// value means unlimited.
+	MaxNodes int
+	// DisableMemo turns off the pruned engine's memoization of visited
+	// (frontier-set, spec-state) pairs.
+	DisableMemo bool
 }
 
 // DefaultCheckOptions tries both constructive strategies and then falls back
@@ -73,11 +132,78 @@ type Result struct {
 	Tried int
 	// Complete reports whether the verdict is definitive: either a witness
 	// was found, or every linear extension was examined and rejected. When
-	// false, the exhaustive search was truncated by MaxExtensions.
+	// false, the exhaustive search was truncated by MaxExtensions (legacy
+	// engine) or MaxNodes (pruned engine).
 	Complete bool
 	// LastErr explains why the most recent candidate was rejected.
 	LastErr error
+	// Engine records which engine ran the exhaustive phase. Meaningful only
+	// when the exhaustive search actually ran (the constructive strategies
+	// did not produce a witness).
+	Engine Engine
+	// Nodes is the number of prefix nodes explored by the pruned engine.
+	Nodes int
+	// Pruned is the number of subtrees the pruned engine cut off at an
+	// inadmissible or unjustifiable prefix.
+	Pruned int
+	// MemoHits is the number of subtrees the pruned engine skipped because an
+	// equivalent (frontier-set, spec-state) pair had already been exhausted.
+	MemoHits int
+	// Workers is the number of goroutines the pruned engine used.
+	Workers int
 }
+
+// EngineOutcome is what a registered search engine reports back to CheckRA
+// and CheckStrongLinearizable.
+type EngineOutcome struct {
+	// OK reports whether a witness linearization was found.
+	OK bool
+	// Witness is the linearization found when OK is true.
+	Witness []*Label
+	// Complete reports whether the search space was exhausted (or a witness
+	// found); false means the node budget truncated the search.
+	Complete bool
+	// LastErr describes a representative rejected prefix.
+	LastErr error
+	// Leaves is the number of complete candidate sequences reached.
+	Leaves int
+	// Nodes is the number of prefix nodes explored.
+	Nodes int
+	// Pruned is the number of subtrees cut off at an inadmissible prefix.
+	Pruned int
+	// MemoHits is the number of subtrees skipped by memoization.
+	MemoHits int
+	// Workers is the number of goroutines used.
+	Workers int
+}
+
+// PrunedEngineFunc is the entry point of a pruned search engine. The history
+// must already be rewritten (RA mode) and acyclic. strong selects the
+// strong-linearizability variant used by CheckStrongLinearizable.
+type PrunedEngineFunc func(h *History, spec Spec, strong bool, opts CheckOptions) EngineOutcome
+
+// prunedEngine is installed by internal/search's init; core cannot import the
+// engine package directly without creating an import cycle.
+var prunedEngine PrunedEngineFunc
+
+// RegisterPrunedEngine installs the pruned search engine used for
+// EngineAuto/EnginePruned. It is called from internal/search's init, so any
+// package importing internal/search (directly or blank) activates it.
+func RegisterPrunedEngine(f PrunedEngineFunc) { prunedEngine = f }
+
+// resolveEngine maps the requested engine to the one that will actually run.
+func resolveEngine(e Engine) Engine {
+	if e == EngineLegacy || prunedEngine == nil {
+		return EngineLegacy
+	}
+	return EnginePruned
+}
+
+// ResolveEngine reports which engine a CheckOptions.Engine value selects in
+// this binary: EngineLegacy when requested — or when no pruned engine is
+// registered — and EnginePruned otherwise. Tools use it to report the engine
+// that actually runs rather than the flag value.
+func ResolveEngine(e Engine) Engine { return resolveEngine(e) }
 
 // ErrNotRALinearizable is wrapped by errors reporting a definitive negative
 // verdict.
@@ -170,6 +296,16 @@ func CheckRA(h *History, spec Spec, opts CheckOptions) Result {
 		return res
 	}
 
+	res.Engine = resolveEngine(opts.Engine)
+	if res.Engine == EnginePruned {
+		out := prunedEngine(rew.History, spec, false, opts)
+		applyEngineOutcome(&res, out)
+		if res.Complete && !res.OK && res.LastErr != nil {
+			res.LastErr = fmt.Errorf("%w: %v", ErrNotRALinearizable, res.LastErr)
+		}
+		return res
+	}
+
 	found := false
 	var witness []*Label
 	_, truncated := LinearExtensions(rew.History, opts.MaxExtensions, func(seq []*Label) bool {
@@ -195,17 +331,43 @@ func CheckRA(h *History, spec Spec, opts CheckOptions) Result {
 	return res
 }
 
+// applyEngineOutcome folds a search engine's outcome into a Result.
+func applyEngineOutcome(res *Result, out EngineOutcome) {
+	res.Tried += out.Leaves
+	res.Nodes = out.Nodes
+	res.Pruned = out.Pruned
+	res.MemoHits = out.MemoHits
+	res.Workers = out.Workers
+	if out.LastErr != nil {
+		res.LastErr = out.LastErr
+	}
+	if out.OK {
+		res.OK = true
+		res.Complete = true
+		res.Linearization = out.Witness
+		return
+	}
+	res.Complete = out.Complete
+}
+
 // CheckStrongLinearizable checks a stricter criterion used for the Figure 5a
 // separation: no query-update rewriting is applied, and every query must be
 // justified by the full prefix of updates preceding it in the linearization
 // (not only the visible ones). This corresponds to the "standard definition
 // of linearizability ... assuming a standard Set specification" discussed in
-// Section 2.2, adapted to visibility-based histories.
-func CheckStrongLinearizable(h *History, spec Spec, maxExtensions int) Result {
+// Section 2.2, adapted to visibility-based histories. Only the Engine,
+// Parallelism, MaxExtensions, MaxNodes and DisableMemo options are consulted;
+// strategies and rewritings do not apply.
+func CheckStrongLinearizable(h *History, spec Spec, opts CheckOptions) Result {
 	res := Result{Rewritten: h}
 	if !h.IsAcyclic() {
 		res.Complete = true
 		res.LastErr = fmt.Errorf("visibility relation is cyclic")
+		return res
+	}
+	res.Engine = resolveEngine(opts.Engine)
+	if res.Engine == EnginePruned {
+		applyEngineOutcome(&res, prunedEngine(h, spec, true, opts))
 		return res
 	}
 	check := func(seq []*Label) error {
@@ -230,7 +392,7 @@ func CheckStrongLinearizable(h *History, spec Spec, maxExtensions int) Result {
 	}
 	found := false
 	var witness []*Label
-	_, truncated := LinearExtensions(h, maxExtensions, func(seq []*Label) bool {
+	_, truncated := LinearExtensions(h, opts.MaxExtensions, func(seq []*Label) bool {
 		res.Tried++
 		if err := check(seq); err == nil {
 			found = true

@@ -164,7 +164,7 @@ func TestCheckRAWithQueryUpdateRewriting(t *testing.T) {
 
 func TestCheckStrongLinearizable(t *testing.T) {
 	// The same counter history is strongly linearizable…
-	res := CheckStrongLinearizable(counterHistory(), counterSpec{}, 0)
+	res := CheckStrongLinearizable(counterHistory(), counterSpec{}, CheckOptions{})
 	if !res.OK {
 		t.Fatalf("counter history must be strongly linearizable: %v", res.LastErr)
 	}
@@ -175,7 +175,7 @@ func TestCheckStrongLinearizable(t *testing.T) {
 	r := h.MustAdd(&Label{ID: 3, Method: "read", Ret: int64(1), Kind: KindQuery, Origin: 1, GenSeq: 3})
 	h.MustAddVis(a.ID, r.ID)
 	h.MustAddVis(b.ID, r.ID)
-	res2 := CheckStrongLinearizable(h, counterSpec{}, 0)
+	res2 := CheckStrongLinearizable(h, counterSpec{}, CheckOptions{})
 	if res2.OK || !res2.Complete {
 		t.Fatal("read⇒1 seeing two incs must not be strongly linearizable")
 	}

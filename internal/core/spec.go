@@ -28,6 +28,17 @@ type Spec interface {
 	Step(phi AbsState, l *Label) []AbsState
 }
 
+// StateKeyer is implemented by abstract states that expose a canonical,
+// collision-free key: two states of the same specification must return equal
+// keys exactly when EqualAbs holds. The pruned search engine memoizes visited
+// (frontier-set, spec-state) pairs only for specifications whose states
+// implement it; the second return value allows composite states to report
+// that one of their components is not keyable.
+type StateKeyer interface {
+	// StateKey returns the canonical key and whether one is available.
+	StateKey() (string, bool)
+}
+
 // Admits reports whether the sequence of labels is admitted by the
 // specification, that is, whether the labels can be applied in order starting
 // from the initial state.
@@ -48,7 +59,7 @@ func statesFrom(s Spec, states []AbsState, seq []*Label) []AbsState {
 		for _, phi := range states {
 			next = append(next, s.Step(phi, l)...)
 		}
-		states = dedupStates(next)
+		states = DedupStates(next)
 		if len(states) == 0 {
 			return nil
 		}
@@ -56,7 +67,10 @@ func statesFrom(s Spec, states []AbsState, seq []*Label) []AbsState {
 	return states
 }
 
-func dedupStates(states []AbsState) []AbsState {
+// DedupStates removes EqualAbs-duplicates from a set of abstract states,
+// preserving first occurrences. It is shared with the search engine, which
+// maintains state sets incrementally.
+func DedupStates(states []AbsState) []AbsState {
 	var out []AbsState
 	for _, s := range states {
 		dup := false
@@ -83,7 +97,7 @@ func FirstRejected(s Spec, seq []*Label) int {
 		for _, phi := range states {
 			next = append(next, s.Step(phi, l)...)
 		}
-		states = dedupStates(next)
+		states = DedupStates(next)
 		if len(states) == 0 {
 			return i
 		}

@@ -202,7 +202,8 @@ func (d Descriptor) NewSBSystem(cfg runtime.Config) *runtime.SBSystem {
 
 // CheckOptions returns checker options tailored to the descriptor: its
 // rewriting, its designated linearization strategy first, the other strategy
-// second, and a bounded exhaustive fallback.
+// second, and a bounded exhaustive fallback. The zero Engine value selects
+// the pruned search engine whenever internal/search is linked in.
 func (d Descriptor) CheckOptions() core.CheckOptions {
 	first := d.Lin.Strategy()
 	second := core.StrategyTimestampOrder

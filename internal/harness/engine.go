@@ -1,0 +1,51 @@
+package harness
+
+import (
+	"fmt"
+
+	"ralin/internal/core"
+
+	// Importing internal/search registers the pruned engine with the core
+	// checker, so every experiment driven through this package (and through
+	// the cmd/ralin-* tools and benchmarks built on it) runs pruned by
+	// default.
+	_ "ralin/internal/search"
+)
+
+// Package-level checker tuning applied to every RA-linearizability check
+// issued by the experiments, tables and workloads in this package. The
+// cmd/ralin-* tools set it from their -engine/-parallel flags.
+var (
+	checkEngine      core.Engine
+	checkParallelism int
+)
+
+// SetCheckEngine selects the exhaustive-search engine and its parallelism for
+// every check run through this package. The zero values keep the defaults
+// (EngineAuto — the pruned engine — at GOMAXPROCS parallelism).
+func SetCheckEngine(e core.Engine, parallelism int) {
+	checkEngine = e
+	checkParallelism = parallelism
+}
+
+// searchEffort renders the work a check's exhaustive phase performed in the
+// units of the engine that ran it: complete candidates for the legacy
+// enumerator, prefix nodes for the pruned engine (whose refutations reach no
+// complete candidate at all).
+func searchEffort(res core.Result) string {
+	if res.Nodes > 0 {
+		return fmt.Sprintf("explored %d prefixes, %d pruned", res.Nodes, res.Pruned)
+	}
+	return fmt.Sprintf("tried %d linearizations", res.Tried)
+}
+
+// checkTuning applies the package-level engine selection to checker options.
+func checkTuning(opts core.CheckOptions) core.CheckOptions {
+	if checkEngine != core.EngineAuto {
+		opts.Engine = checkEngine
+	}
+	if opts.Parallelism == 0 {
+		opts.Parallelism = checkParallelism
+	}
+	return opts
+}

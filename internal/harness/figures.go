@@ -77,7 +77,7 @@ func Fig3() Experiment {
 	sys.MustInvoke(0, "read")
 
 	h := sys.History()
-	res := core.CheckRA(h, d.Spec, d.CheckOptions())
+	res := core.CheckRA(h, d.Spec, checkTuning(d.CheckOptions()))
 	var out strings.Builder
 	out.WriteString("history (label  origin  sees):\n")
 	out.WriteString(h.String())
@@ -134,12 +134,12 @@ func naiveSetHistory(h *core.History) *core.History {
 func Fig5a() Experiment {
 	_, h := fig5System()
 	naive := naiveSetHistory(h)
-	strong := core.CheckStrongLinearizable(naive, spec.Set{}, 0)
-	ra := core.CheckRA(naive, spec.Set{}, core.CheckOptions{Exhaustive: true})
+	strong := core.CheckStrongLinearizable(naive, spec.Set{}, checkTuning(core.CheckOptions{Exhaustive: true}))
+	ra := core.CheckRA(naive, spec.Set{}, checkTuning(core.CheckOptions{Exhaustive: true}))
 	var out strings.Builder
 	out.WriteString("history (removes treated as plain Set updates):\n")
 	out.WriteString(naive.String())
-	fmt.Fprintf(&out, "strong linearizability: ok=%v (tried %d linearizations)\n", strong.OK, strong.Tried)
+	fmt.Fprintf(&out, "strong linearizability: ok=%v (%s)\n", strong.OK, searchEffort(strong))
 	fmt.Fprintf(&out, "RA-linearizability w.r.t. Spec(Set): ok=%v complete=%v\n", ra.OK, ra.Complete)
 	ok := !strong.OK && strong.Complete && !ra.OK && ra.Complete
 	return Experiment{
@@ -158,7 +158,7 @@ func Fig5a() Experiment {
 func Fig5b() Experiment {
 	d := orset.Descriptor()
 	_, h := fig5System()
-	res := core.CheckRA(h, d.Spec, d.CheckOptions())
+	res := core.CheckRA(h, d.Spec, checkTuning(d.CheckOptions()))
 	var out strings.Builder
 	out.WriteString("rewritten history:\n")
 	if res.Rewritten != nil {
@@ -200,7 +200,7 @@ func Sec33() Experiment {
 		if aInX && !aInY {
 			violations++
 		}
-		res := core.CheckRA(run.System.History(), d.Spec, d.CheckOptions())
+		res := core.CheckRA(run.System.History(), d.Spec, checkTuning(d.CheckOptions()))
 		if !res.OK {
 			nonLinearizable++
 		}
@@ -240,8 +240,8 @@ func Fig8() Experiment {
 	sys.MustInvoke(1, "addAfter", "b", "c")
 
 	h := sys.History()
-	eo := core.CheckRA(h, d.Spec, core.CheckOptions{Strategies: []core.Strategy{core.StrategyExecutionOrder}})
-	to := core.CheckRA(h, d.Spec, core.CheckOptions{Strategies: []core.Strategy{core.StrategyTimestampOrder}})
+	eo := core.CheckRA(h, d.Spec, checkTuning(core.CheckOptions{Strategies: []core.Strategy{core.StrategyExecutionOrder}}))
+	to := core.CheckRA(h, d.Spec, checkTuning(core.CheckOptions{Strategies: []core.Strategy{core.StrategyTimestampOrder}}))
 	var out strings.Builder
 	fmt.Fprintf(&out, "read returned %s\n", core.FormatValue(read.Ret))
 	fmt.Fprintf(&out, "execution-order linearization accepted: %v\n", eo.OK)
@@ -277,7 +277,7 @@ func Fig9() Experiment {
 	h := sys.History()
 	specC := compose.SpecOf(sys)
 	opts := compose.CheckOptions(sys)
-	res := core.CheckRA(h, specC, opts)
+	res := core.CheckRA(h, specC, checkTuning(opts))
 
 	rew, err := core.RewriteHistory(h, opts.Rewriting)
 	combinedBad, combinedGood := false, false
@@ -347,9 +347,9 @@ func Fig10() Experiment {
 		return sys, sys.History()
 	}
 	unrSys, unrHist := runOnce(compose.Unrestricted)
-	unr := core.CheckRA(unrHist, compose.SpecOf(unrSys), compose.CheckOptions(unrSys))
+	unr := core.CheckRA(unrHist, compose.SpecOf(unrSys), checkTuning(compose.CheckOptions(unrSys)))
 	sharedSys, sharedHist := runOnce(compose.SharedTimestamps)
-	shared := core.CheckRA(sharedHist, compose.SpecOf(sharedSys), compose.CheckOptions(sharedSys))
+	shared := core.CheckRA(sharedHist, compose.SpecOf(sharedSys), checkTuning(compose.CheckOptions(sharedSys)))
 
 	var out strings.Builder
 	out.WriteString("history under ⊗ (independent timestamps):\n")
@@ -438,10 +438,10 @@ func Fig14() Experiment {
 	h := sys.History()
 
 	opts := core.CheckOptions{Exhaustive: true}
-	r1 := core.CheckRA(h, spec.AddAt1{}, opts)
-	r2 := core.CheckRA(h, spec.AddAt2{}, opts)
+	r1 := core.CheckRA(h, spec.AddAt1{}, checkTuning(opts))
+	r2 := core.CheckRA(h, spec.AddAt2{}, checkTuning(opts))
 	d3 := rga.AddAtDescriptor()
-	r3 := core.CheckRA(h, spec.AddAt3{}, d3.CheckOptions())
+	r3 := core.CheckRA(h, spec.AddAt3{}, checkTuning(d3.CheckOptions()))
 
 	var out strings.Builder
 	fmt.Fprintf(&out, "final read: %s\n", core.FormatValue(read.Ret))

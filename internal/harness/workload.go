@@ -116,6 +116,13 @@ type HistoryCheck struct {
 	// ByStrategy counts witnesses per constructive strategy; histories
 	// resolved only by the exhaustive search are counted under "exhaustive".
 	ByStrategy map[string]int
+	// Tried is the total number of candidate sequences examined.
+	Tried int
+	// Nodes, Pruned and MemoHits aggregate the pruned engine's search
+	// statistics across all histories (zero under the legacy engine).
+	Nodes    int
+	Pruned   int
+	MemoHits int
 	// FailureExample describes the first non-linearizable history, if any.
 	FailureExample string
 }
@@ -139,7 +146,11 @@ func CheckRandomHistories(d crdt.Descriptor, trials int, cfg WorkloadConfig) (Hi
 		}
 		out.Histories++
 		out.Operations += h.Len()
-		res := core.CheckRA(h, d.Spec, d.CheckOptions())
+		res := core.CheckRA(h, d.Spec, checkTuning(d.CheckOptions()))
+		out.Tried += res.Tried
+		out.Nodes += res.Nodes
+		out.Pruned += res.Pruned
+		out.MemoHits += res.MemoHits
 		if !res.OK {
 			if out.FailureExample == "" {
 				out.FailureExample = fmt.Sprintf("seed %d: %v", trialCfg.Seed, res.LastErr)

@@ -1,0 +1,104 @@
+package search
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"ralin/internal/core"
+)
+
+// bitset is a fixed-capacity bit vector over label indices; histories can
+// exceed 64 labels after rewriting, so one word is not enough in general.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) get(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+func (b bitset) set(i int)      { b[i/64] |= 1 << (i % 64) }
+func (b bitset) clear(i int)    { b[i/64] &^= 1 << (i % 64) }
+
+// memoTable records (placed-set, spec-state) configurations whose subtrees
+// were fully explored without finding a witness. Each worker owns one table:
+// sharing would need locking on the hot path, and the top-level branches
+// explore mostly disjoint regions anyway.
+type memoTable struct {
+	seenSet map[string]struct{}
+	// keyable flips to false permanently once a state without a canonical
+	// key is encountered; memoization is then disabled for this worker.
+	keyable bool
+}
+
+func newMemoTable() *memoTable {
+	return &memoTable{seenSet: make(map[string]struct{}), keyable: true}
+}
+
+func (m *memoTable) seen(key string) bool {
+	_, ok := m.seenSet[key]
+	return ok
+}
+
+func (m *memoTable) mark(key string) { m.seenSet[key] = struct{}{} }
+
+// memoKey renders the current search configuration: the placed-label set,
+// the main state set, and — in RA mode — the justification state set of
+// every pending query. The future subtree is a function of exactly these
+// (the placed set determines the remaining labels and their frontier
+// structure; the state sets determine every further admissibility check), so
+// pruning on a repeated key is sound. The second return value is false when
+// some state does not expose a canonical key, in which case memoization is
+// disabled.
+func (s *searcher) memoKey() (string, bool) {
+	if !s.memo.keyable {
+		return "", false
+	}
+	var b strings.Builder
+	for _, w := range s.placed {
+		b.WriteString(strconv.FormatUint(w, 16))
+		b.WriteByte('.')
+	}
+	b.WriteByte('|')
+	if !writeStateSet(&b, s.main) {
+		s.memo.keyable = false
+		return "", false
+	}
+	if !s.strong {
+		for _, q := range s.pre.queries {
+			if s.placed.get(q) {
+				continue
+			}
+			b.WriteByte('q')
+			b.WriteString(strconv.Itoa(q))
+			b.WriteByte(':')
+			if !writeStateSet(&b, s.qstates[q]) {
+				s.memo.keyable = false
+				return "", false
+			}
+		}
+	}
+	return b.String(), true
+}
+
+// writeStateSet appends a canonical rendering of a state set (sorted keys) to
+// b, returning false when some state is not keyable.
+func writeStateSet(b *strings.Builder, states []core.AbsState) bool {
+	keys := make([]string, len(states))
+	for i, st := range states {
+		keyer, ok := st.(core.StateKeyer)
+		if !ok {
+			return false
+		}
+		key, ok := keyer.StateKey()
+		if !ok {
+			return false
+		}
+		keys[i] = key
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.WriteString(strconv.Quote(k))
+		b.WriteByte(';')
+	}
+	b.WriteByte('|')
+	return true
+}

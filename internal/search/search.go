@@ -1,0 +1,214 @@
+// Package search implements the pruned search engine behind the
+// RA-linearizability checker: an incremental backtracking DFS over the linear
+// extensions of a history's visibility relation.
+//
+// The legacy enumerator in internal/core generates every complete linear
+// extension and re-validates each candidate from scratch, so a rejected
+// prefix is rediscovered in every one of its (factorially many) extensions.
+// This engine instead maintains a frontier of vis-minimal labels and extends
+// the candidate one label at a time, checking the conditions of
+// Definition 3.5 per prefix:
+//
+//   - condition (i) — consistency with visibility — holds by construction,
+//     because only frontier labels (all visibility predecessors placed) are
+//     ever appended;
+//   - condition (ii) — the update projection is admitted by the
+//     specification — is maintained incrementally as the set of abstract
+//     states reachable after the placed updates; an empty set prunes the
+//     whole subtree;
+//   - condition (iii) — every query is justified by its visible updates in
+//     sequence order — is tracked per query: each pending query carries the
+//     state set of its justification so far, advanced whenever one of its
+//     visible updates is placed. A query whose justification dies prunes the
+//     subtree as soon as the dooming update is placed, before the query
+//     itself is even reachable.
+//
+// Because all three conditions are enforced on every prefix, every leaf of
+// the search tree is a witness RA-linearization, and the first leaf ends the
+// search. On top of the pruning the engine memoizes visited (placed-set,
+// spec-state) pairs for specifications whose states implement
+// core.StateKeyer, and fans the top-level branch choices out across a bounded
+// goroutine pool with early cancellation once any worker finds a witness.
+//
+// The engine registers itself with internal/core at init time (core cannot
+// import this package without a cycle), so importing internal/search — even
+// blank — makes core.CheckRA and core.CheckStrongLinearizable use it for
+// CheckOptions with Engine auto or pruned.
+package search
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"ralin/internal/core"
+)
+
+func init() {
+	core.RegisterPrunedEngine(Run)
+}
+
+// Run searches for a linearization of h admitted by spec. In RA mode (strong
+// false) h must be an already rewritten history — queries and updates only —
+// and the conditions of Definition 3.5 apply; in strong mode every query must
+// be justified by the full preceding update prefix, as in
+// core.CheckStrongLinearizable. The visibility relation of h must be acyclic
+// (core checks this before dispatching).
+func Run(h *core.History, spec core.Spec, strong bool, opts core.CheckOptions) core.EngineOutcome {
+	pre, err := prepare(h, strong)
+	if err != nil {
+		return core.EngineOutcome{Complete: true, LastErr: err}
+	}
+	sh := newShared(nodeBudget(opts))
+
+	roots := pre.initialFrontier()
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(roots) {
+		workers = len(roots)
+	}
+	newMemo := func() *memoTable {
+		if opts.DisableMemo {
+			return nil
+		}
+		return newMemoTable()
+	}
+	if workers <= 1 {
+		s := newSearcher(pre, spec, strong, newMemo(), sh)
+		s.dfs()
+		s.flush()
+		return sh.outcome(1)
+	}
+
+	jobs := make(chan int)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			// One memo table per worker, shared across all its root jobs:
+			// exhausted configurations recorded under one root prune
+			// identical configurations reached under another.
+			memo := newMemo()
+			for root := range jobs {
+				if sh.stop.Load() {
+					continue
+				}
+				s := newSearcher(pre, spec, strong, memo, sh)
+				// The shared root node (the empty prefix) is accounted
+				// for once by outcome(); each worker starts by placing
+				// its assigned top-level branch.
+				if !s.enter(root) {
+					s.flush()
+					continue
+				}
+				s.dfs()
+				s.flush()
+			}
+		}()
+	}
+	for _, root := range roots {
+		jobs <- root
+	}
+	close(jobs)
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	return sh.outcome(workers)
+}
+
+// nodeBudget derives the prefix-node budget from the options: MaxNodes wins;
+// zero falls back to 3×MaxExtensions (an unpruned prefix tree has at most
+// e·n! internal nodes against the n! complete extensions the legacy cap
+// bounds); negative means unlimited.
+func nodeBudget(opts core.CheckOptions) int64 {
+	if opts.MaxNodes > 0 {
+		return int64(opts.MaxNodes)
+	}
+	if opts.MaxNodes < 0 || opts.MaxExtensions <= 0 {
+		return 0
+	}
+	return 3 * int64(opts.MaxExtensions)
+}
+
+// prepared is the immutable, index-based view of the history shared by all
+// workers.
+type prepared struct {
+	labels []*core.Label
+	// preds[i] / succs[i] are the (transitive) visibility predecessors and
+	// successors of labels[i], as indices.
+	preds [][]int
+	succs [][]int
+	// affected[i] lists, for an update labels[i], the indices of the queries
+	// it is visible to (RA mode only).
+	affected [][]int
+	// queries lists the query indices in ascending order (RA mode only).
+	queries []int
+	// order lists all label indices sorted by generator sequence; candidates
+	// are tried in this order so the search reaches execution-order-like
+	// witnesses first.
+	order []int
+}
+
+func prepare(h *core.History, strong bool) (*prepared, error) {
+	labels := h.Labels()
+	n := len(labels)
+	idx := make(map[uint64]int, n)
+	for i, l := range labels {
+		idx[l.ID] = i
+	}
+	p := &prepared{
+		labels:   labels,
+		preds:    make([][]int, n),
+		succs:    make([][]int, n),
+		affected: make([][]int, n),
+	}
+	for i, l := range labels {
+		if !strong && l.IsQueryUpdate() {
+			return nil, fmt.Errorf("label %v is a query-update; apply a rewriting first", l)
+		}
+		for _, pl := range h.VisibleTo(l) {
+			p.preds[i] = append(p.preds[i], idx[pl.ID])
+		}
+		for _, sl := range h.SeenBy(l) {
+			p.succs[i] = append(p.succs[i], idx[sl.ID])
+		}
+	}
+	if !strong {
+		for i, l := range labels {
+			if l.IsQuery() {
+				p.queries = append(p.queries, i)
+				for _, u := range p.preds[i] {
+					if labels[u].IsUpdate() {
+						p.affected[u] = append(p.affected[u], i)
+					}
+				}
+			}
+		}
+	}
+	p.order = make([]int, n)
+	for i := range p.order {
+		p.order[i] = i
+	}
+	sort.Slice(p.order, func(x, y int) bool {
+		la, lb := labels[p.order[x]], labels[p.order[y]]
+		if la.GenSeq != lb.GenSeq {
+			return la.GenSeq < lb.GenSeq
+		}
+		return la.ID < lb.ID
+	})
+	return p, nil
+}
+
+// initialFrontier returns the indices of the vis-minimal labels in candidate
+// order: the top-level branches of the search tree.
+func (p *prepared) initialFrontier() []int {
+	var roots []int
+	for _, i := range p.order {
+		if len(p.preds[i]) == 0 {
+			roots = append(roots, i)
+		}
+	}
+	return roots
+}

@@ -1,0 +1,280 @@
+package search
+
+import (
+	"fmt"
+
+	"ralin/internal/core"
+)
+
+// status is the outcome of exploring one subtree.
+type status int
+
+const (
+	// sExhausted: the subtree was fully explored and contains no witness.
+	sExhausted status = iota
+	// sFound: a witness was found (and recorded in the shared state).
+	sFound
+	// sStopped: the search was cancelled (witness found elsewhere) or the
+	// node budget ran out; the subtree may contain unexplored nodes.
+	sStopped
+)
+
+// pruneReason records why a prefix was rejected, kept cheap so the hot path
+// does no formatting; searcher.flush renders the last one per worker.
+type pruneReason struct {
+	label *core.Label
+	cond  string
+	// query is the pending query whose justification died (condition iii
+	// pruned at an update), nil otherwise.
+	query *core.Label
+}
+
+func (r pruneReason) err() error {
+	if r.label == nil {
+		return nil
+	}
+	if r.query != nil {
+		return fmt.Errorf("condition (%s): placing %v leaves query %v unjustifiable by its visible updates",
+			r.cond, r.label, r.query)
+	}
+	return fmt.Errorf("condition (%s): prefix rejected at %v", r.cond, r.label)
+}
+
+// searcher is the per-worker mutable search state.
+type searcher struct {
+	pre    *prepared
+	spec   core.Spec
+	strong bool
+	sh     *shared
+
+	// indegree[i] counts the not-yet-placed visibility predecessors of
+	// labels[i]; a label is in the frontier when its count is zero.
+	indegree []int
+	placed   bitset
+	seq      []int
+	// main is the set of abstract states reachable after the placed updates
+	// (RA mode) or the placed prefix (strong mode).
+	main []core.AbsState
+	// qstates[q] is, for each unplaced query index q, the set of states of
+	// its justification so far (RA mode only).
+	qstates map[int][]core.AbsState
+
+	frames []frame
+
+	memo    *memoTable
+	reason  pruneReason
+	nodes   int64
+	leaves  int64
+	pruned  int64
+	memoHit int64
+}
+
+// newSearcher builds a fresh search state over the empty prefix. memo may be
+// shared across several searchers of the same worker (memo keys describe the
+// full configuration, so exhausted entries are valid across root subtrees);
+// nil disables memoization.
+func newSearcher(pre *prepared, spec core.Spec, strong bool, memo *memoTable, sh *shared) *searcher {
+	n := len(pre.labels)
+	s := &searcher{
+		pre:      pre,
+		spec:     spec,
+		strong:   strong,
+		sh:       sh,
+		indegree: make([]int, n),
+		placed:   newBitset(n),
+		seq:      make([]int, 0, n),
+		main:     []core.AbsState{spec.Init()},
+		memo:     memo,
+	}
+	for i := range s.indegree {
+		s.indegree[i] = len(pre.preds[i])
+	}
+	if !strong {
+		s.qstates = make(map[int][]core.AbsState, len(pre.queries))
+		for _, q := range pre.queries {
+			s.qstates[q] = []core.AbsState{spec.Init()}
+		}
+	}
+	return s
+}
+
+// flush merges the worker-local counters and prune reason into the shared
+// state; call once when the worker is done.
+func (s *searcher) flush() {
+	s.sh.nodes.Add(s.nodes)
+	s.sh.leaves.Add(s.leaves)
+	s.sh.pruned.Add(s.pruned)
+	s.sh.memoHits.Add(s.memoHit)
+	if err := s.reason.err(); err != nil {
+		s.sh.setErr(err)
+	}
+}
+
+// dfs explores the subtree under the current prefix.
+func (s *searcher) dfs() status {
+	if s.sh.stop.Load() {
+		return sStopped
+	}
+	s.nodes++
+	if !s.sh.chargeNode() {
+		return sStopped
+	}
+	if len(s.seq) == len(s.pre.labels) {
+		// Conditions (i)–(iii) were enforced on every prefix, so a complete
+		// sequence is a witness.
+		s.leaves++
+		s.sh.recordWitness(s.witness())
+		return sFound
+	}
+	key, keyed := "", false
+	if s.memo != nil {
+		key, keyed = s.memoKey()
+		if keyed && s.memo.seen(key) {
+			s.memoHit++
+			return sExhausted
+		}
+	}
+	for _, i := range s.pre.order {
+		if s.indegree[i] != 0 || s.placed.get(i) {
+			continue
+		}
+		if !s.enter(i) {
+			continue
+		}
+		st := s.dfs()
+		s.leave(i)
+		if st != sExhausted {
+			return st
+		}
+	}
+	if keyed {
+		// The subtree is fully explored and witness-free; any later prefix
+		// reaching the same (placed-set, spec-state) configuration can skip
+		// it.
+		s.memo.mark(key)
+	}
+	return sExhausted
+}
+
+// enter tries to extend the prefix with label index i. It returns false —
+// leaving the searcher unchanged — when the extended prefix is inadmissible
+// or unjustifiable, and records the prune.
+func (s *searcher) enter(i int) bool {
+	l := s.pre.labels[i]
+	if s.strong {
+		next := s.stepAll(s.main, l)
+		if len(next) == 0 {
+			s.pruned++
+			s.reason = pruneReason{label: l, cond: "prefix"}
+			return false
+		}
+		if !l.IsQuery() {
+			// Updates (and query-updates, which strong mode treats as
+			// updates) advance the prefix state; queries only have to be
+			// admitted at it.
+			s.pushFrame(frame{main: s.main})
+			s.main = next
+		} else {
+			s.pushFrame(frame{main: s.main})
+		}
+	} else if l.IsUpdate() {
+		next := s.stepAll(s.main, l)
+		if len(next) == 0 {
+			s.pruned++
+			s.reason = pruneReason{label: l, cond: "ii"}
+			return false
+		}
+		// Advance every pending query this update is visible to; a dead
+		// justification dooms every completion of the prefix, so prune now
+		// instead of when the query is placed.
+		fr := frame{main: s.main}
+		var stepped [][]core.AbsState
+		for _, q := range s.pre.affected[i] {
+			if s.placed.get(q) {
+				continue
+			}
+			nq := s.stepAll(s.qstates[q], l)
+			if len(nq) == 0 {
+				s.pruned++
+				s.reason = pruneReason{label: l, cond: "iii", query: s.pre.labels[q]}
+				return false
+			}
+			fr.saved = append(fr.saved, savedQuery{q: q, states: s.qstates[q]})
+			stepped = append(stepped, nq)
+		}
+		for k, sv := range fr.saved {
+			s.qstates[sv.q] = stepped[k]
+		}
+		s.pushFrame(fr)
+		s.main = next
+	} else {
+		// Queries: the justification (visible updates in placed order,
+		// then the query) must be admitted. All visible updates are
+		// necessarily placed already, so qstates[i] is final.
+		if len(s.stepAll(s.qstates[i], l)) == 0 {
+			s.pruned++
+			s.reason = pruneReason{label: l, cond: "iii", query: nil}
+			return false
+		}
+		s.pushFrame(frame{main: s.main})
+	}
+	s.placed.set(i)
+	s.seq = append(s.seq, i)
+	for _, j := range s.pre.succs[i] {
+		s.indegree[j]--
+	}
+	return true
+}
+
+// leave undoes enter(i).
+func (s *searcher) leave(i int) {
+	for _, j := range s.pre.succs[i] {
+		s.indegree[j]++
+	}
+	s.seq = s.seq[:len(s.seq)-1]
+	s.placed.clear(i)
+	fr := s.popFrame()
+	s.main = fr.main
+	for _, sv := range fr.saved {
+		s.qstates[sv.q] = sv.states
+	}
+}
+
+// frame is the undo record of one placement. State-set slices are never
+// mutated in place (stepAll builds fresh ones), so saving the old slice
+// headers restores them exactly.
+type frame struct {
+	main  []core.AbsState
+	saved []savedQuery
+}
+
+type savedQuery struct {
+	q      int
+	states []core.AbsState
+}
+
+func (s *searcher) pushFrame(f frame) { s.frames = append(s.frames, f) }
+
+func (s *searcher) popFrame() frame {
+	f := s.frames[len(s.frames)-1]
+	s.frames = s.frames[:len(s.frames)-1]
+	return f
+}
+
+// stepAll applies label l to every state of the set and dedups the result.
+func (s *searcher) stepAll(states []core.AbsState, l *core.Label) []core.AbsState {
+	var next []core.AbsState
+	for _, phi := range states {
+		next = append(next, s.spec.Step(phi, l)...)
+	}
+	return core.DedupStates(next)
+}
+
+// witness materializes the current (complete) prefix as a label sequence.
+func (s *searcher) witness() []*core.Label {
+	out := make([]*core.Label, len(s.seq))
+	for k, i := range s.seq {
+		out[k] = s.pre.labels[i]
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package search
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ralin/internal/core"
+)
+
+// shared is the coordination state of one search: counters, the node budget,
+// the cancellation flag and the witness slot, shared by all workers.
+type shared struct {
+	stop      atomic.Bool
+	truncated atomic.Bool
+	charged   atomic.Int64
+	budget    int64 // 0 = unlimited
+
+	nodes    atomic.Int64
+	leaves   atomic.Int64
+	pruned   atomic.Int64
+	memoHits atomic.Int64
+
+	mu      sync.Mutex
+	witness []*core.Label
+	lastErr error
+}
+
+func newShared(budget int64) *shared {
+	return &shared{budget: budget}
+}
+
+// chargeNode consumes one unit of the node budget. It returns false — after
+// flagging the search truncated and cancelling all workers — when the budget
+// is exhausted.
+func (sh *shared) chargeNode() bool {
+	if sh.budget <= 0 {
+		return true
+	}
+	if sh.charged.Add(1) > sh.budget {
+		sh.truncated.Store(true)
+		sh.stop.Store(true)
+		return false
+	}
+	return true
+}
+
+// recordWitness stores the first witness found and cancels all workers.
+func (sh *shared) recordWitness(seq []*core.Label) {
+	sh.mu.Lock()
+	if sh.witness == nil {
+		sh.witness = seq
+	}
+	sh.mu.Unlock()
+	sh.stop.Store(true)
+}
+
+// setErr keeps a representative prune error.
+func (sh *shared) setErr(err error) {
+	sh.mu.Lock()
+	if sh.lastErr == nil {
+		sh.lastErr = err
+	}
+	sh.mu.Unlock()
+}
+
+// outcome assembles the engine outcome once every worker has flushed. The +1
+// accounts for the shared root node (the empty prefix), which the parallel
+// runner never visits explicitly.
+func (sh *shared) outcome(workers int) core.EngineOutcome {
+	sh.mu.Lock()
+	witness, lastErr := sh.witness, sh.lastErr
+	sh.mu.Unlock()
+	out := core.EngineOutcome{
+		OK:       witness != nil,
+		Witness:  witness,
+		LastErr:  lastErr,
+		Leaves:   int(sh.leaves.Load()),
+		Nodes:    int(sh.nodes.Load()),
+		Pruned:   int(sh.pruned.Load()),
+		MemoHits: int(sh.memoHits.Load()),
+		Workers:  workers,
+	}
+	if workers > 1 {
+		out.Nodes++
+	}
+	out.Complete = out.OK || !sh.truncated.Load()
+	return out
+}

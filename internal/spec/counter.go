@@ -8,6 +8,7 @@ package spec
 
 import (
 	"fmt"
+	"strconv"
 
 	"ralin/internal/core"
 )
@@ -27,6 +28,10 @@ func (s CounterState) EqualAbs(o core.AbsState) bool {
 
 // String renders the counter value.
 func (s CounterState) String() string { return fmt.Sprintf("%d", int64(s)) }
+
+// StateKey returns the canonical key (the value itself), enabling search
+// memoization.
+func (s CounterState) StateKey() (string, bool) { return strconv.FormatInt(int64(s), 10), true }
 
 // Counter is Spec(Counter) of Example 3.2 (and Appendix B.1): inc() increases
 // the value, dec() decreases it, read() ⇒ k returns it.

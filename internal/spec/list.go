@@ -1,6 +1,7 @@
 package spec
 
 import (
+	"sort"
 	"strings"
 
 	"ralin/internal/core"
@@ -72,6 +73,17 @@ func (s ListState) String() string {
 		parts = append(parts, e)
 	}
 	return strings.Join(parts, "·")
+}
+
+// StateKey returns the canonical key (the quoted element sequence plus the
+// sorted tombstone set), enabling search memoization.
+func (s ListState) StateKey() (string, bool) {
+	tombs := make([]string, 0, len(s.Tomb))
+	for e := range s.Tomb {
+		tombs = append(tombs, e)
+	}
+	sort.Strings(tombs)
+	return quoteJoin(s.Elems) + "|T:" + quoteJoin(tombs), true
 }
 
 // Contains reports whether the element occurs in l.

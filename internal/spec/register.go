@@ -1,6 +1,10 @@
 package spec
 
 import (
+	"sort"
+	"strconv"
+	"strings"
+
 	"ralin/internal/clock"
 	"ralin/internal/core"
 )
@@ -20,6 +24,10 @@ func (s RegisterState) EqualAbs(o core.AbsState) bool {
 
 // String renders the register value.
 func (s RegisterState) String() string { return string(s) }
+
+// StateKey returns the canonical key (the value itself), enabling search
+// memoization.
+func (s RegisterState) StateKey() (string, bool) { return string(s), true }
 
 // Register is Spec(Reg) of Appendix B.2: write(a) sets the value, read() ⇒ a
 // returns it. It is the specification of the LWW-Register.
@@ -111,6 +119,18 @@ func (s MVRegState) Values() []string {
 // String renders the state.
 func (s MVRegState) String() string {
 	return core.FormatValue(s.Values())
+}
+
+// StateKey returns the canonical key: the quoted elements with their writing
+// version vectors (clock.VersionVector renders with replicas sorted), sorted
+// lexicographically. Enables search memoization.
+func (s MVRegState) StateKey() (string, bool) {
+	parts := make([]string, len(s))
+	for i, p := range s {
+		parts[i] = strconv.Quote(p.Elem) + "@" + p.VV.String()
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ","), true
 }
 
 // MVRegister is Spec(MV-Reg) of Appendix E.1: write(a, id), where id is a

@@ -1,6 +1,9 @@
 package spec
 
 import (
+	"strconv"
+	"strings"
+
 	"ralin/internal/core"
 )
 
@@ -44,6 +47,21 @@ func (s SetState) Values() []string {
 
 // String renders the set.
 func (s SetState) String() string { return core.FormatValue(s.Values()) }
+
+// StateKey returns the canonical key (sorted quoted elements), enabling
+// search memoization.
+func (s SetState) StateKey() (string, bool) { return quoteJoin(s.Values()), true }
+
+// quoteJoin renders a sorted string slice unambiguously (elements are quoted
+// so separators inside values cannot collide).
+func quoteJoin(elems []string) string {
+	var b strings.Builder
+	for _, e := range elems {
+		b.WriteString(strconv.Quote(e))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
 
 // Set is Spec(Set) of Appendix E.2: add(a) inserts, remove(a) deletes,
 // read() ⇒ S returns the sorted contents.
@@ -142,6 +160,19 @@ func (s ORSetState) Values() []string {
 
 // String renders the pair set.
 func (s ORSetState) String() string { return core.FormatValue(s.Pairs()) }
+
+// StateKey returns the canonical key (sorted quoted pairs), enabling search
+// memoization.
+func (s ORSetState) StateKey() (string, bool) {
+	var b strings.Builder
+	for _, p := range s.Pairs() {
+		b.WriteString(strconv.Quote(p.Elem))
+		b.WriteByte('#')
+		b.WriteString(strconv.FormatUint(p.ID, 10))
+		b.WriteByte(',')
+	}
+	return b.String(), true
+}
 
 // ORSet is Spec(OR-Set) of Example 3.4, the specification of the rewritten
 // OR-Set operations:

@@ -16,6 +16,7 @@
 //
 //	internal/clock     timestamps, version vectors, identifier sources
 //	internal/core      labels, histories, specifications, the checker
+//	internal/search    the pruned (incremental, memoizing, parallel) engine
 //	internal/runtime   the operation-based and state-based semantics
 //	internal/spec      the sequential specifications of every data type
 //	internal/crdt/...  the nine CRDTs of Figure 12 plus the RGA addAt variant
