@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench lint fmt
+.PHONY: build test bench bench-json lint fmt
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,20 @@ test:
 # match the paper (the CI smoke run).
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# The same pass with -benchmem, converted to machine-readable JSON. CI runs
+# this and uploads BENCH_results.json as an artifact on every build, so the
+# benchmark trajectory (ns/op, allocs/op, checks/refute, ...) accumulates
+# over time. BENCH_results.json is also committed as the current baseline
+# snapshot: running this target overwrites it on purpose — refresh it (and
+# the BENCHMARKS.md tables) deliberately when an engine change moves the
+# numbers, otherwise discard the local diff. The intermediate text output is
+# kept out of the tree.
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x ./... > bench-raw.txt
+	$(GO) run ./cmd/ralin-bench2json < bench-raw.txt > BENCH_results.json
+	@rm -f bench-raw.txt
+	@echo "wrote BENCH_results.json"
 
 lint:
 	$(GO) vet ./...

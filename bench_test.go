@@ -211,8 +211,9 @@ func BenchmarkConstructiveVsExhaustive(b *testing.B) {
 // nonLinearizableHistory builds the adversarial history of the engine
 // comparison: k concurrent counter increments all visible to one read that
 // returns an impossible value. The legacy enumerator validates all k!
-// extensions before rejecting; the pruned engine's memoization collapses the
-// commuting prefixes to the 2^k distinct frontier sets.
+// extensions before rejecting; the pruned engine's shared memo table
+// collapses the commuting prefixes to the 2^k distinct frontier sets — for
+// every worker at once.
 func nonLinearizableHistory(k int) *core.History {
 	h := core.NewHistory()
 	for i := 1; i <= k; i++ {
@@ -229,7 +230,9 @@ func nonLinearizableHistory(k int) *core.History {
 // legacy enumerator on a non-RA-linearizable history, where the whole search
 // space must be refuted. Candidate checks per refutation are reported as the
 // "checks/refute" metric (Result.Tried for legacy, Result.Nodes for pruned);
-// see BENCHMARKS.md for committed numbers.
+// the memo table is shared and claimed on node entry, so the parallel
+// variants' node counts track the sequential one instead of growing with the
+// worker count. See BENCHMARKS.md for committed numbers.
 func BenchmarkEngineNonLinearizable(b *testing.B) {
 	h := nonLinearizableHistory(7)
 	sp := spec.Counter{}
@@ -240,12 +243,15 @@ func BenchmarkEngineNonLinearizable(b *testing.B) {
 		{"legacy", core.CheckOptions{Exhaustive: true, Engine: core.EngineLegacy}},
 		{"pruned", core.CheckOptions{Exhaustive: true, Engine: core.EnginePruned}},
 		{"pruned-seq", core.CheckOptions{Exhaustive: true, Engine: core.EnginePruned, Parallelism: 1}},
+		// Pinned to 4 workers so the scheduler cost is comparable across
+		// hosts with different core counts.
+		{"pruned-par4", core.CheckOptions{Exhaustive: true, Engine: core.EnginePruned, Parallelism: 4}},
 	}
 	for _, v := range variants {
 		v := v
 		b.Run(v.name, func(b *testing.B) {
 			b.ReportAllocs()
-			checks := 0
+			checks, steals := 0, 0
 			for i := 0; i < b.N; i++ {
 				res := core.CheckRA(h, sp, v.opts)
 				if res.OK || !res.Complete {
@@ -256,8 +262,12 @@ func BenchmarkEngineNonLinearizable(b *testing.B) {
 				} else {
 					checks = res.Tried
 				}
+				steals = res.Steals
 			}
 			b.ReportMetric(float64(checks), "checks/refute")
+			if v.opts.Engine == core.EnginePruned {
+				b.ReportMetric(float64(steals), "steals/refute")
+			}
 		})
 	}
 }

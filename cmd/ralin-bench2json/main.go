@@ -1,0 +1,104 @@
+// Command ralin-bench2json converts the text output of `go test -bench` on
+// stdin into a stable JSON document on stdout, so benchmark runs can be
+// committed or uploaded as machine-readable artifacts (`make bench-json`
+// writes BENCH_results.json; CI uploads it on every run, giving the repo a
+// benchmark trajectory over time).
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | ralin-bench2json > BENCH_results.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line: the name (with the -N GOMAXPROCS
+// suffix kept as printed), the iteration count, and every reported metric by
+// unit (ns/op, B/op, allocs/op, plus any custom b.ReportMetric units such as
+// checks/refute).
+type Result struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Document is the full converted run.
+type Document struct {
+	Context    map[string]string `json:"context"`
+	Benchmarks []Result          `json:"benchmarks"`
+}
+
+func main() {
+	doc, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ralin-bench2json:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "ralin-bench2json:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*Document, error) {
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	doc := &Document{Context: map[string]string{}, Benchmarks: []Result{}}
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"),
+			strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			doc.Context[k] = strings.TrimSpace(v)
+		case strings.HasPrefix(line, "pkg:"):
+			_, v, _ := strings.Cut(line, ":")
+			pkg = strings.TrimSpace(v)
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok := parseBenchLine(line)
+			if !ok {
+				continue
+			}
+			res.Package = pkg
+			doc.Benchmarks = append(doc.Benchmarks, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// parseBenchLine parses one `BenchmarkName-N  iters  v1 unit1  v2 unit2 ...`
+// line. Lines that do not fit the shape (for example a benchmark's FAIL
+// output) are skipped rather than fatal: the caller's exit code already
+// reflects `go test` failures.
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	return res, true
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: ralin
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkEngineNonLinearizable/legacy         	      10	  35567659 ns/op	      5040 checks/refute	 9056230 B/op	  395416 allocs/op
+BenchmarkEngineNonLinearizable/pruned         	      10	    153158 ns/op	       449.0 checks/refute	   47519 B/op	    1196 allocs/op
+PASS
+ok  	ralin	0.400s
+`
+
+func TestParseSample(t *testing.T) {
+	doc, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Context["goos"] != "linux" || doc.Context["goarch"] != "amd64" {
+		t.Fatalf("context not captured: %v", doc.Context)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("expected 2 benchmarks, got %d", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[1]
+	if b.Name != "BenchmarkEngineNonLinearizable/pruned" || b.Package != "ralin" {
+		t.Fatalf("wrong name/package: %+v", b)
+	}
+	if b.Iterations != 10 {
+		t.Fatalf("wrong iterations: %d", b.Iterations)
+	}
+	want := map[string]float64{"ns/op": 153158, "checks/refute": 449, "B/op": 47519, "allocs/op": 1196}
+	for unit, v := range want {
+		if b.Metrics[unit] != v {
+			t.Fatalf("metric %s: got %v, want %v", unit, b.Metrics[unit], v)
+		}
+	}
+}
+
+func TestParseSkipsMalformed(t *testing.T) {
+	in := "BenchmarkBroken notanumber\nBenchmarkOK-8 5 100 ns/op\n"
+	doc, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 1 || doc.Benchmarks[0].Name != "BenchmarkOK-8" {
+		t.Fatalf("malformed line not skipped: %+v", doc.Benchmarks)
+	}
+}

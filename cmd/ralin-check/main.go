@@ -1,11 +1,14 @@
 // Command ralin-check generates random histories of a chosen CRDT and checks
 // each for RA-linearizability with the type's designated linearization
 // strategy (execution order or timestamp order) and a bounded exhaustive
-// fallback. It is the workhorse behind the scaling experiments.
+// fallback. It is the workhorse behind the scaling experiments, and — via
+// -cpuprofile/-memprofile — the standard way to capture pprof evidence for
+// checker performance work.
 //
 // Usage:
 //
 //	ralin-check -crdt RGA -histories 50 -ops 10 -replicas 3
+//	ralin-check -crdt OR-Set -cpuprofile cpu.out -memprofile mem.out
 //	ralin-check -list
 package main
 
@@ -13,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"ralin/internal/core"
 	"ralin/internal/crdt/registry"
@@ -27,7 +32,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	delivery := flag.Int("delivery", 40, "probability (percent) of a propagation step between operations")
 	engine := flag.String("engine", "auto", "exhaustive-search engine: auto, pruned or legacy")
-	parallel := flag.Int("parallel", 0, "pruned-engine worker goroutines (0 = GOMAXPROCS)")
+	parallel := flag.Int("parallel", 0, "pruned-engine worker goroutines sharing one memo table via work stealing (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file before exiting")
 	list := flag.Bool("list", false, "list the registered CRDTs and exit")
 	flag.Parse()
 
@@ -38,29 +45,65 @@ func main() {
 		return
 	}
 
-	eng, err := core.ParseEngine(*engine)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ralin-check:", err)
-		os.Exit(1)
+	// The checking work runs inside run() so the profile writers below —
+	// which must flush even when the check fails — see every exit path;
+	// os.Exit skips defers, so main only calls it after run returns.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
 	}
-	harness.SetCheckEngine(eng, *parallel)
+	code := run(*engine, *parallel, *name, *histories, *ops, *replicas, *seed, *delivery)
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC() // settle the live heap before the snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+	os.Exit(code)
+}
 
-	d, err := registry.Lookup(*name)
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ralin-check:", err)
+	os.Exit(1)
+}
+
+func run(engine string, parallel int, name string, histories, ops, replicas int, seed int64, delivery int) int {
+	eng, err := core.ParseEngine(engine)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ralin-check:", err)
-		os.Exit(1)
+		return 1
+	}
+	harness.SetCheckEngine(eng, parallel)
+
+	d, err := registry.Lookup(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ralin-check:", err)
+		return 1
 	}
 	cfg := harness.WorkloadConfig{
-		Seed:         *seed,
-		Ops:          *ops,
-		Replicas:     *replicas,
+		Seed:         seed,
+		Ops:          ops,
+		Replicas:     replicas,
 		Elems:        []string{"a", "b", "c"},
-		DeliveryProb: *delivery,
+		DeliveryProb: delivery,
 	}
-	res, err := harness.CheckRandomHistories(d, *histories, cfg)
+	res, err := harness.CheckRandomHistories(d, histories, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ralin-check:", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("%s (%s, %s linearizations)\n", d.Name, d.Class, d.Lin)
 	fmt.Printf("  histories checked:   %d (%d operations total)\n", res.Histories, res.Operations)
@@ -71,9 +114,11 @@ func main() {
 	fmt.Printf("  candidates tried:    %d (engine %s)\n", res.Tried, core.ResolveEngine(eng))
 	if res.Nodes > 0 {
 		fmt.Printf("  search nodes:        %d explored, %d pruned, %d memo hits\n", res.Nodes, res.Pruned, res.MemoHits)
+		fmt.Printf("  scheduler:           %d stolen branches, memo striped over %d shards\n", res.Steals, res.Shards)
 	}
 	if !res.OK() {
 		fmt.Printf("  FIRST FAILURE: %s\n", res.FailureExample)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -28,7 +28,7 @@ func main() {
 	fig := flag.String("fig", "", "single figure to reproduce (for example \"5a\" or \"fig-5a\")")
 	list := flag.Bool("list", false, "list experiment identifiers and exit")
 	engine := flag.String("engine", "auto", "exhaustive-search engine: auto, pruned or legacy")
-	parallel := flag.Int("parallel", 0, "pruned-engine worker goroutines (0 = GOMAXPROCS)")
+	parallel := flag.Int("parallel", 0, "pruned-engine worker goroutines sharing one memo table via work stealing (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	eng, err := core.ParseEngine(*engine)

@@ -28,7 +28,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	details := flag.Bool("details", false, "print per-obligation details below the table")
 	engine := flag.String("engine", "auto", "exhaustive-search engine: auto, pruned or legacy")
-	parallel := flag.Int("parallel", 0, "pruned-engine worker goroutines (0 = GOMAXPROCS)")
+	parallel := flag.Int("parallel", 0, "pruned-engine worker goroutines sharing one memo table via work stealing (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	eng, err := core.ParseEngine(*engine)

@@ -38,7 +38,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	histories := flag.Int("histories", 10, "random histories RA-checked per CRDT after the obligations (0 disables)")
 	engine := flag.String("engine", "auto", "exhaustive-search engine: auto, pruned or legacy")
-	parallel := flag.Int("parallel", 0, "pruned-engine worker goroutines (0 = GOMAXPROCS)")
+	parallel := flag.Int("parallel", 0, "pruned-engine worker goroutines sharing one memo table via work stealing (0 = GOMAXPROCS)")
 	list := flag.Bool("list", false, "list the registered CRDTs and exit")
 	flag.Parse()
 
@@ -100,7 +100,12 @@ func main() {
 			}
 			fmt.Printf("  %-28s %6d checked  ", "RA-Linearizable(random)", hc.Histories)
 			if hc.OK() {
-				fmt.Printf("ok (%d candidates, engine %s)\n", hc.Tried, core.ResolveEngine(eng))
+				if hc.Nodes > 0 {
+					fmt.Printf("ok (%d candidates, %d nodes, %d steals, engine %s)\n",
+						hc.Tried, hc.Nodes, hc.Steals, core.ResolveEngine(eng))
+				} else {
+					fmt.Printf("ok (%d candidates, engine %s)\n", hc.Tried, core.ResolveEngine(eng))
+				}
 			} else {
 				fmt.Printf("FAILED (%s)\n", hc.FailureExample)
 				failed++

@@ -147,8 +147,16 @@ type Result struct {
 	// inadmissible or unjustifiable prefix.
 	Pruned int
 	// MemoHits is the number of subtrees the pruned engine skipped because an
-	// equivalent (frontier-set, spec-state) pair had already been exhausted.
+	// equivalent (frontier-set, spec-state) pair had already been claimed in
+	// the shared memo table by some worker.
 	MemoHits int
+	// Steals is the number of donated frontier branches executed by a worker
+	// other than the one that published them (the pruned engine schedules by
+	// work-stealing; always zero for a sequential search).
+	Steals int
+	// Shards is the stripe count of the pruned engine's shared lock-striped
+	// memo table (zero when memoization was disabled).
+	Shards int
 	// Workers is the number of goroutines the pruned engine used.
 	Workers int
 }
@@ -173,6 +181,12 @@ type EngineOutcome struct {
 	Pruned int
 	// MemoHits is the number of subtrees skipped by memoization.
 	MemoHits int
+	// Steals is the number of stolen work items (donated branches run by a
+	// different worker than their donor).
+	Steals int
+	// Shards is the stripe count of the shared memo table (zero when
+	// memoization was disabled).
+	Shards int
 	// Workers is the number of goroutines used.
 	Workers int
 }
@@ -337,6 +351,8 @@ func applyEngineOutcome(res *Result, out EngineOutcome) {
 	res.Nodes = out.Nodes
 	res.Pruned = out.Pruned
 	res.MemoHits = out.MemoHits
+	res.Steals = out.Steals
+	res.Shards = out.Shards
 	res.Workers = out.Workers
 	if out.LastErr != nil {
 		res.LastErr = out.LastErr

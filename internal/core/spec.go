@@ -67,10 +67,27 @@ func statesFrom(s Spec, states []AbsState, seq []*Label) []AbsState {
 	return states
 }
 
-// DedupStates removes EqualAbs-duplicates from a set of abstract states,
-// preserving first occurrences. It is shared with the search engine, which
-// maintains state sets incrementally.
+// dedupKeyedThreshold is the set size above which DedupStates switches from
+// the quadratic EqualAbs scan to the key-based map: below it the map
+// allocation costs more than the handful of comparisons it saves.
+const dedupKeyedThreshold = 8
+
+// DedupStates removes duplicates from a set of abstract states, preserving
+// first occurrences. For sets beyond a small threshold whose states all
+// expose canonical keys (StateKeyer), duplicates are detected by key in one
+// linear pass; otherwise — and always for states without keys — it falls back
+// to the pairwise EqualAbs scan. (The pruned search engine goes further and
+// dedups by interned key ID; this is the shared slow-path used by the legacy
+// enumerator and the Admits/StatesAfter helpers.)
 func DedupStates(states []AbsState) []AbsState {
+	if len(states) <= 1 {
+		return states
+	}
+	if len(states) > dedupKeyedThreshold {
+		if out, ok := dedupByKey(states); ok {
+			return out
+		}
+	}
 	var out []AbsState
 	for _, s := range states {
 		dup := false
@@ -85,6 +102,30 @@ func DedupStates(states []AbsState) []AbsState {
 		}
 	}
 	return out
+}
+
+// dedupByKey removes duplicates by canonical state key in O(n). It reports
+// false — leaving the caller to the EqualAbs fallback — as soon as any state
+// does not expose a key.
+func dedupByKey(states []AbsState) ([]AbsState, bool) {
+	seen := make(map[string]struct{}, len(states))
+	out := make([]AbsState, 0, len(states))
+	for _, s := range states {
+		keyer, ok := s.(StateKeyer)
+		if !ok {
+			return nil, false
+		}
+		key, ok := keyer.StateKey()
+		if !ok {
+			return nil, false
+		}
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		out = append(out, s)
+	}
+	return out, true
 }
 
 // FirstRejected returns the index of the first label of seq that cannot be

@@ -1,6 +1,9 @@
 package core
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 func TestAdmitsCounter(t *testing.T) {
 	spec := counterSpec{}
@@ -91,5 +94,55 @@ func TestSetSpec(t *testing.T) {
 	seq[3].Ret = []string{"a", "b"}
 	if Admits(spec, seq) {
 		t.Fatal("stale read must be rejected")
+	}
+}
+
+// keyedState implements StateKeyer for the DedupStates fast-path test.
+type keyedState int64
+
+func (s keyedState) CloneAbs() AbsState       { return s }
+func (s keyedState) EqualAbs(o AbsState) bool { c, ok := o.(keyedState); return ok && c == s }
+func (s keyedState) String() string           { return fmt.Sprintf("%d", int64(s)) }
+func (s keyedState) StateKey() (string, bool) { return s.String(), true }
+
+// TestDedupStatesKeyedFastPath drives DedupStates over the key-map threshold
+// with keyable states: the result must keep exactly the distinct states in
+// first-occurrence order, matching the EqualAbs fallback.
+func TestDedupStatesKeyedFastPath(t *testing.T) {
+	var states []AbsState
+	for i := 0; i < 3*dedupKeyedThreshold; i++ {
+		states = append(states, keyedState(i%5))
+	}
+	out := DedupStates(states)
+	if len(out) != 5 {
+		t.Fatalf("expected 5 distinct states, got %d", len(out))
+	}
+	for i, s := range out {
+		if s.(keyedState) != keyedState(i) {
+			t.Fatalf("first-occurrence order broken at %d: %v", i, out)
+		}
+	}
+}
+
+// TestDedupStatesUnkeyedFallback checks the EqualAbs fallback still dedups
+// large sets of states without canonical keys.
+func TestDedupStatesUnkeyedFallback(t *testing.T) {
+	var states []AbsState
+	for i := 0; i < 3*dedupKeyedThreshold; i++ {
+		states = append(states, counterState(i%4))
+	}
+	if out := DedupStates(states); len(out) != 4 {
+		t.Fatalf("expected 4 distinct states, got %d", len(out))
+	}
+}
+
+// TestDedupStatesSmallSets covers the short-circuit paths.
+func TestDedupStatesSmallSets(t *testing.T) {
+	if out := DedupStates(nil); len(out) != 0 {
+		t.Fatalf("empty input must stay empty, got %v", out)
+	}
+	one := []AbsState{keyedState(7)}
+	if out := DedupStates(one); len(out) != 1 || out[0].(keyedState) != 7 {
+		t.Fatalf("singleton must pass through, got %v", out)
 	}
 }

@@ -34,6 +34,9 @@ func SetCheckEngine(e core.Engine, parallelism int) {
 // complete candidate at all).
 func searchEffort(res core.Result) string {
 	if res.Nodes > 0 {
+		if res.Steals > 0 {
+			return fmt.Sprintf("explored %d prefixes, %d pruned, %d stolen branches", res.Nodes, res.Pruned, res.Steals)
+		}
 		return fmt.Sprintf("explored %d prefixes, %d pruned", res.Nodes, res.Pruned)
 	}
 	return fmt.Sprintf("tried %d linearizations", res.Tried)

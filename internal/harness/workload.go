@@ -118,11 +118,15 @@ type HistoryCheck struct {
 	ByStrategy map[string]int
 	// Tried is the total number of candidate sequences examined.
 	Tried int
-	// Nodes, Pruned and MemoHits aggregate the pruned engine's search
-	// statistics across all histories (zero under the legacy engine).
+	// Nodes, Pruned, MemoHits and Steals aggregate the pruned engine's
+	// search statistics across all histories (zero under the legacy engine);
+	// Shards is the stripe count of its shared memo table (zero when
+	// memoization never ran).
 	Nodes    int
 	Pruned   int
 	MemoHits int
+	Steals   int
+	Shards   int
 	// FailureExample describes the first non-linearizable history, if any.
 	FailureExample string
 }
@@ -151,6 +155,10 @@ func CheckRandomHistories(d crdt.Descriptor, trials int, cfg WorkloadConfig) (Hi
 		out.Nodes += res.Nodes
 		out.Pruned += res.Pruned
 		out.MemoHits += res.MemoHits
+		out.Steals += res.Steals
+		if res.Shards > out.Shards {
+			out.Shards = res.Shards
+		}
 		if !res.OK {
 			if out.FailureExample == "" {
 				out.FailureExample = fmt.Sprintf("seed %d: %v", trialCfg.Seed, res.LastErr)

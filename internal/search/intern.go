@@ -1,0 +1,92 @@
+package search
+
+import "sync"
+
+// interner maps canonical state keys (core.StateKeyer.StateKey strings) to
+// dense uint32 IDs, shared by every worker of one search. Interning a state
+// key once per distinct abstract state replaces all downstream string work:
+// state sets become sorted ID slices, set equality becomes ID equality, and
+// memo keys become fixed-size hashes over integers instead of quoted,
+// re-sorted string renderings. IDs are dense (0..n-1 in first-seen order),
+// stable for the lifetime of the search, and equal exactly when the keys are
+// equal, so ID-based deduplication is collision-free.
+//
+// The table is read-mostly after warm-up (a search touches a bounded set of
+// abstract states), so lookups take the read lock and only a genuinely new
+// key upgrades to the write lock.
+type interner struct {
+	mu  sync.RWMutex
+	ids map[string]uint32
+}
+
+func newInterner() *interner {
+	return &interner{ids: make(map[string]uint32, 64)}
+}
+
+// id returns the dense ID of key, assigning the next free ID on first sight.
+func (in *interner) id(key string) uint32 {
+	in.mu.RLock()
+	id, ok := in.ids[key]
+	in.mu.RUnlock()
+	if ok {
+		return id
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if id, ok := in.ids[key]; ok {
+		return id
+	}
+	id = uint32(len(in.ids))
+	in.ids[key] = id
+	return id
+}
+
+// size returns the number of distinct keys interned so far.
+func (in *interner) size() int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return len(in.ids)
+}
+
+// key128 is a 128-bit memo key: the hash of a search configuration. Two
+// distinct configurations colliding requires ~2^64 distinct keys by the
+// birthday bound; searches explore at most millions, so a collision —
+// which would wrongly prune one subtree — is vanishingly unlikely. This is
+// the standard hash-compaction trade of explicit-state model checkers.
+type key128 struct{ hi, lo uint64 }
+
+// hash128 accumulates a key128 from a sequence of uint64 words. Both lanes
+// run the splitmix64 finalizer over differently-seeded streams, so every
+// input bit diffuses into all 128 output bits at each step and sequences
+// differing in any word (or word order, or length) hash apart.
+type hash128 struct{ a, b uint64 }
+
+func newHash128() hash128 {
+	return hash128{a: 0x9e3779b97f4a7c15, b: 0xd1b54a32d192ed03}
+}
+
+// splitmix64 is the finalizer of the splitmix64 generator: a bijective
+// mixing of all 64 bits.
+func splitmix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// mix folds one word into the accumulator.
+func (h *hash128) mix(x uint64) {
+	h.a = splitmix64(h.a ^ x)
+	h.b = splitmix64(h.b + x + 0x9e3779b97f4a7c15)
+}
+
+// mixID folds one interned state ID into the accumulator.
+func (h *hash128) mixID(id uint32) { h.mix(uint64(id)) }
+
+// sum finalizes the accumulated key. Cross-mixing the lanes makes the two
+// halves independent functions of the whole input.
+func (h hash128) sum() key128 {
+	return key128{hi: splitmix64(h.a ^ (h.b << 1)), lo: splitmix64(h.b ^ (h.a >> 1))}
+}

@@ -1,12 +1,6 @@
 package search
 
-import (
-	"sort"
-	"strconv"
-	"strings"
-
-	"ralin/internal/core"
-)
+import "sync"
 
 // bitset is a fixed-capacity bit vector over label indices; histories can
 // exceed 64 labels after rewriting, so one word is not enough in general.
@@ -18,87 +12,100 @@ func (b bitset) get(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
 func (b bitset) set(i int)      { b[i/64] |= 1 << (i % 64) }
 func (b bitset) clear(i int)    { b[i/64] &^= 1 << (i % 64) }
 
-// memoTable records (placed-set, spec-state) configurations whose subtrees
-// were fully explored without finding a witness. Each worker owns one table:
-// sharing would need locking on the hot path, and the top-level branches
-// explore mostly disjoint regions anyway.
+// memoShardCount is the number of independent locks (and maps) the shared
+// memo table is striped across. 64 stripes keep the collision probability of
+// two workers hitting the same lock at the same time negligible for the
+// worker counts the engine runs (≤ GOMAXPROCS).
+const memoShardCount = 64
+
+// memoTable is the shared, lock-striped memoization table of one search: the
+// set of (placed-set, spec-state) configurations some worker has started
+// exploring. All workers share one table, so a configuration claimed — and,
+// since a claimant's DFS only returns after exhausting its subtree, sooner or
+// later fully explored — by any worker prunes every other worker.
+//
+// Claims are made on node entry ("claim-on-entry"), not on subtree
+// completion. This is sound because a configuration determines its entire
+// subtree: the first claimant explores it to exhaustion (or the search stops
+// globally, in which case the overall result is a witness or a truncation and
+// memo contents are moot; donated sub-branches are drained by the work queue
+// before the search can terminate), so any later visitor of an equal
+// configuration may skip immediately. Sequentially this is equivalent to
+// marking on completion — a DFS cannot re-reach a configuration that is still
+// on its own stack, because the placed set grows strictly with depth — while
+// in parallel it removes the window in which two workers duplicate a subtree
+// that neither has finished.
 type memoTable struct {
-	seenSet map[string]struct{}
-	// keyable flips to false permanently once a state without a canonical
-	// key is encountered; memoization is then disabled for this worker.
-	keyable bool
+	shards [memoShardCount]memoShard
+}
+
+type memoShard struct {
+	mu   sync.Mutex
+	seen map[key128]struct{}
+	// Pad the 16 bytes of mutex + map header to a full 64-byte cache line so
+	// neighboring stripes don't false-share.
+	_ [48]byte
 }
 
 func newMemoTable() *memoTable {
-	return &memoTable{seenSet: make(map[string]struct{}), keyable: true}
-}
-
-func (m *memoTable) seen(key string) bool {
-	_, ok := m.seenSet[key]
-	return ok
-}
-
-func (m *memoTable) mark(key string) { m.seenSet[key] = struct{}{} }
-
-// memoKey renders the current search configuration: the placed-label set,
-// the main state set, and — in RA mode — the justification state set of
-// every pending query. The future subtree is a function of exactly these
-// (the placed set determines the remaining labels and their frontier
-// structure; the state sets determine every further admissibility check), so
-// pruning on a repeated key is sound. The second return value is false when
-// some state does not expose a canonical key, in which case memoization is
-// disabled.
-func (s *searcher) memoKey() (string, bool) {
-	if !s.memo.keyable {
-		return "", false
+	m := &memoTable{}
+	for i := range m.shards {
+		m.shards[i].seen = make(map[key128]struct{})
 	}
-	var b strings.Builder
+	return m
+}
+
+// claim records the configuration key and reports whether this call was the
+// first to do so. A false return means an equal configuration is already
+// being (or has been) explored elsewhere and the caller must skip its
+// subtree.
+func (m *memoTable) claim(k key128) bool {
+	sh := &m.shards[k.lo%memoShardCount]
+	sh.mu.Lock()
+	_, dup := sh.seen[k]
+	if !dup {
+		sh.seen[k] = struct{}{}
+	}
+	sh.mu.Unlock()
+	return !dup
+}
+
+// memoKey hashes the current search configuration into a fixed-size 128-bit
+// key: the placed-label bitset, the interned IDs of the main state set, and —
+// in RA mode — the interned IDs of every pending query's justification set.
+// The future subtree is a function of exactly these (the placed set
+// determines the remaining labels and their frontier structure; the state
+// sets determine every further admissibility check), so pruning on a repeated
+// key is sound up to hash collision. The ID slices are maintained sorted by
+// stepAll, so no per-node sorting, quoting or string building happens here —
+// the key is a pass of integer mixing over data that already exists.
+//
+// The second return value is false when memoization is off: the table is
+// disabled, or some reachable state does not implement core.StateKeyer (the
+// shared unkeyable flag, set by stepAll, covers every worker).
+func (s *searcher) memoKey() (key128, bool) {
+	if s.memo == nil || s.sh.unkeyable.Load() {
+		return key128{}, false
+	}
+	h := newHash128()
 	for _, w := range s.placed {
-		b.WriteString(strconv.FormatUint(w, 16))
-		b.WriteByte('.')
+		h.mix(w)
 	}
-	b.WriteByte('|')
-	if !writeStateSet(&b, s.main) {
-		s.memo.keyable = false
-		return "", false
+	h.mix(uint64(len(s.mainIDs)))
+	for _, id := range s.mainIDs {
+		h.mixID(id)
 	}
 	if !s.strong {
 		for _, q := range s.pre.queries {
 			if s.placed.get(q) {
 				continue
 			}
-			b.WriteByte('q')
-			b.WriteString(strconv.Itoa(q))
-			b.WriteByte(':')
-			if !writeStateSet(&b, s.qstates[q]) {
-				s.memo.keyable = false
-				return "", false
+			ids := s.qids[q]
+			h.mix(uint64(q)<<32 | uint64(len(ids)))
+			for _, id := range ids {
+				h.mixID(id)
 			}
 		}
 	}
-	return b.String(), true
-}
-
-// writeStateSet appends a canonical rendering of a state set (sorted keys) to
-// b, returning false when some state is not keyable.
-func writeStateSet(b *strings.Builder, states []core.AbsState) bool {
-	keys := make([]string, len(states))
-	for i, st := range states {
-		keyer, ok := st.(core.StateKeyer)
-		if !ok {
-			return false
-		}
-		key, ok := keyer.StateKey()
-		if !ok {
-			return false
-		}
-		keys[i] = key
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		b.WriteString(strconv.Quote(k))
-		b.WriteByte(';')
-	}
-	b.WriteByte('|')
-	return true
+	return h.sum(), true
 }

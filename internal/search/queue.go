@@ -1,0 +1,86 @@
+package search
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// workItem is one unit of stealable work: an admissible prefix of label
+// indices whose subtree has not been explored. The donor recorded it instead
+// of descending into it; whichever worker pops it replays the prefix and runs
+// the DFS from there.
+type workItem struct {
+	prefix []int
+	// donor is the worker that published the item, or -1 for the seed item
+	// (the empty prefix).
+	donor int
+}
+
+// workQueue is the shared pool of donated search prefixes behind the
+// work-stealing scheduler. Workers pop items to explore; a worker whose DFS
+// is at a shallow node donates unexplored sibling branches whenever some
+// other worker is starving (hungry() is a lock-free read on the hot path).
+// The queue detects global termination: when every worker is waiting and no
+// items remain, no one can produce more work, so pop returns false
+// everywhere.
+type workQueue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	items   []workItem
+	waiting int
+	workers int
+	done    bool
+	// starving mirrors waiting for lock-free reads by busy workers deciding
+	// whether to donate.
+	starving atomic.Int32
+}
+
+func newWorkQueue(workers int) *workQueue {
+	q := &workQueue{workers: workers}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// hungry reports, without locking, whether some worker is currently waiting
+// for work. Donation is pointless (and costs a prefix copy plus a lock) when
+// everyone is busy, so the DFS consults this before donating.
+func (q *workQueue) hungry() bool { return q.starving.Load() > 0 }
+
+// push publishes one item and wakes a waiting worker.
+func (q *workQueue) push(it workItem) {
+	q.mu.Lock()
+	q.items = append(q.items, it)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// pop returns the next item to explore, blocking while the queue is empty but
+// some worker is still busy (and may yet donate). It returns ok=false once
+// the search is globally done: no items remain and every worker is waiting.
+func (q *workQueue) pop() (workItem, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if n := len(q.items); n > 0 {
+			it := q.items[n-1]
+			q.items[n-1] = workItem{}
+			q.items = q.items[:n-1]
+			return it, true
+		}
+		if q.done {
+			return workItem{}, false
+		}
+		q.waiting++
+		q.starving.Store(int32(q.waiting))
+		if q.waiting == q.workers {
+			// Every worker is here and the queue is empty: nothing can
+			// produce more work.
+			q.done = true
+			q.cond.Broadcast()
+			return workItem{}, false
+		}
+		q.cond.Wait()
+		q.waiting--
+		q.starving.Store(int32(q.waiting))
+	}
+}

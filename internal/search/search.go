@@ -25,10 +25,16 @@
 //
 // Because all three conditions are enforced on every prefix, every leaf of
 // the search tree is a witness RA-linearization, and the first leaf ends the
-// search. On top of the pruning the engine memoizes visited (placed-set,
-// spec-state) pairs for specifications whose states implement
-// core.StateKeyer, and fans the top-level branch choices out across a bounded
-// goroutine pool with early cancellation once any worker finds a witness.
+// search. On top of the pruning the engine shares one memoization layer
+// across all workers: canonical state keys (core.StateKeyer) are interned to
+// dense IDs, each visited (placed-set, spec-state) configuration is hashed to
+// a 128-bit key over those IDs, and the key is claimed in a lock-striped
+// table on node entry — a configuration claimed by any worker prunes every
+// other worker. Scheduling is work-stealing: the search starts from a single
+// seed prefix, and a worker at a shallow node donates unexplored sibling
+// branches to a shared queue whenever another worker is starving, so
+// utilization does not depend on the top-level branching factor. Early
+// cancellation stops everyone once any worker finds a witness.
 //
 // The engine registers itself with internal/core at init time (core cannot
 // import this package without a cycle), so importing internal/search — even
@@ -40,6 +46,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"sync"
 
 	"ralin/internal/core"
 )
@@ -60,61 +67,62 @@ func Run(h *core.History, spec core.Spec, strong bool, opts core.CheckOptions) c
 		return core.EngineOutcome{Complete: true, LastErr: err}
 	}
 	sh := newShared(nodeBudget(opts))
+	var memo *memoTable
+	if !opts.DisableMemo {
+		memo = newMemoTable()
+		sh.shards = memoShardCount
+	}
+	intern := newInterner()
 
-	roots := pre.initialFrontier()
 	workers := opts.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(roots) {
-		workers = len(roots)
-	}
-	newMemo := func() *memoTable {
-		if opts.DisableMemo {
-			return nil
-		}
-		return newMemoTable()
+	if n := len(pre.labels); workers > n {
+		// More workers than labels can never all be busy (the deepest
+		// donation still leaves at most n live branches of useful size).
+		workers = n
 	}
 	if workers <= 1 {
-		s := newSearcher(pre, spec, strong, newMemo(), sh)
+		s := newSearcher(pre, spec, strong, intern, memo, sh, nil, 0)
 		s.dfs()
 		s.flush()
 		return sh.outcome(1)
 	}
 
-	jobs := make(chan int)
-	done := make(chan struct{})
+	// Work-stealing: the queue is seeded with the single empty prefix; the
+	// worker that pops it donates shallow sibling branches whenever another
+	// worker is starving, so all workers become busy within a few donations
+	// regardless of the top-level branching factor, and imbalanced subtrees
+	// re-balance the same way for the rest of the search.
+	queue := newWorkQueue(workers)
+	queue.push(workItem{donor: -1})
+	var wg sync.WaitGroup
+	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
-			defer func() { done <- struct{}{} }()
-			// One memo table per worker, shared across all its root jobs:
-			// exhausted configurations recorded under one root prune
-			// identical configurations reached under another.
-			memo := newMemo()
-			for root := range jobs {
+		go func(id int) {
+			defer wg.Done()
+			s := newSearcher(pre, spec, strong, intern, memo, sh, queue, id)
+			defer s.flush()
+			for {
+				item, ok := queue.pop()
+				if !ok {
+					return
+				}
+				if item.donor >= 0 && item.donor != id {
+					s.steals++
+				}
 				if sh.stop.Load() {
 					continue
 				}
-				s := newSearcher(pre, spec, strong, memo, sh)
-				// The shared root node (the empty prefix) is accounted
-				// for once by outcome(); each worker starts by placing
-				// its assigned top-level branch.
-				if !s.enter(root) {
-					s.flush()
-					continue
+				s.reset()
+				if s.replay(item.prefix) {
+					s.dfs()
 				}
-				s.dfs()
-				s.flush()
 			}
-		}()
+		}(w)
 	}
-	for _, root := range roots {
-		jobs <- root
-	}
-	close(jobs)
-	for w := 0; w < workers; w++ {
-		<-done
-	}
+	wg.Wait()
 	return sh.outcome(workers)
 }
 
@@ -199,16 +207,4 @@ func prepare(h *core.History, strong bool) (*prepared, error) {
 		return la.ID < lb.ID
 	})
 	return p, nil
-}
-
-// initialFrontier returns the indices of the vis-minimal labels in candidate
-// order: the top-level branches of the search tree.
-func (p *prepared) initialFrontier() []int {
-	var roots []int
-	for _, i := range p.order {
-		if len(p.preds[i]) == 0 {
-			roots = append(roots, i)
-		}
-	}
-	return roots
 }

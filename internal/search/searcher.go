@@ -10,7 +10,9 @@ import (
 type status int
 
 const (
-	// sExhausted: the subtree was fully explored and contains no witness.
+	// sExhausted: the subtree was fully explored (locally or, for donated
+	// branches, by whichever worker pops them before the search can
+	// terminate) and the local exploration found no witness.
 	sExhausted status = iota
 	// sFound: a witness was found (and recorded in the shared state).
 	sFound
@@ -18,6 +20,12 @@ const (
 	// node budget ran out; the subtree may contain unexplored nodes.
 	sStopped
 )
+
+// maxDonateDepth bounds the prefix depth at which a worker donates sibling
+// branches to the work queue. Shallow branches carry the largest subtrees
+// (the best units of stealable work) and keep the replay cost of a stolen
+// prefix trivial; deeper nodes use the scratch-free fast path.
+const maxDonateDepth = 4
 
 // pruneReason records why a prefix was rejected, kept cheap so the hot path
 // does no formatting; searcher.flush renders the last one per worker.
@@ -40,12 +48,26 @@ func (r pruneReason) err() error {
 	return fmt.Errorf("condition (%s): prefix rejected at %v", r.cond, r.label)
 }
 
+// setBuf is one reusable state-set buffer: the abstract states and, while the
+// specification is keyable, the parallel slice of their interned IDs kept
+// sorted ascending. The sorted ID order is the set's canonical form — memo
+// hashing walks it without re-sorting — and makes ID-based deduplication a
+// short ordered-insert scan.
+type setBuf struct {
+	states []core.AbsState
+	ids    []uint32
+}
+
 // searcher is the per-worker mutable search state.
 type searcher struct {
 	pre    *prepared
 	spec   core.Spec
 	strong bool
 	sh     *shared
+	intern *interner
+	memo   *memoTable
+	queue  *workQueue
+	worker int
 
 	// indegree[i] counts the not-yet-placed visibility predecessors of
 	// labels[i]; a label is in the frontier when its count is zero.
@@ -53,49 +75,118 @@ type searcher struct {
 	placed   bitset
 	seq      []int
 	// main is the set of abstract states reachable after the placed updates
-	// (RA mode) or the placed prefix (strong mode).
-	main []core.AbsState
-	// qstates[q] is, for each unplaced query index q, the set of states of
-	// its justification so far (RA mode only).
-	qstates map[int][]core.AbsState
+	// (RA mode) or the placed prefix (strong mode); mainIDs are its interned
+	// IDs, sorted, or nil once keying is off.
+	main    []core.AbsState
+	mainIDs []uint32
+	// qstates[q] / qids[q] are, for each unplaced query index q, the state
+	// set of its justification so far (RA mode only); non-query indices stay
+	// nil.
+	qstates [][]core.AbsState
+	qids    [][]uint32
+	// keyable caches whether every state seen by this worker interned; it
+	// flips off (together with the shared flag that disables memoization for
+	// everyone) at the first state without a canonical key.
+	keyable bool
 
 	frames []frame
+	// pool recycles state-set buffers released by leave; after warm-up the
+	// inner loop allocates nothing here.
+	pool []setBuf
+	// stepped stages the advanced query sets of one enter so the searcher is
+	// left untouched when a later query's justification dies.
+	stepped []setBuf
+	// cands[d] is the frontier scratch of donation-eligible depth d.
+	cands [maxDonateDepth][]int
 
-	memo    *memoTable
 	reason  pruneReason
 	nodes   int64
 	leaves  int64
 	pruned  int64
 	memoHit int64
+	steals  int64
+	donated int64
 }
 
-// newSearcher builds a fresh search state over the empty prefix. memo may be
-// shared across several searchers of the same worker (memo keys describe the
-// full configuration, so exhausted entries are valid across root subtrees);
-// nil disables memoization.
-func newSearcher(pre *prepared, spec core.Spec, strong bool, memo *memoTable, sh *shared) *searcher {
+// newSearcher builds a fresh search state over the empty prefix. intern and
+// memo are shared by every worker of the search (memo may be nil when
+// memoization is disabled); queue is nil for a sequential search.
+func newSearcher(pre *prepared, spec core.Spec, strong bool, intern *interner, memo *memoTable, sh *shared, queue *workQueue, worker int) *searcher {
 	n := len(pre.labels)
 	s := &searcher{
 		pre:      pre,
 		spec:     spec,
 		strong:   strong,
 		sh:       sh,
+		intern:   intern,
+		memo:     memo,
+		queue:    queue,
+		worker:   worker,
 		indegree: make([]int, n),
 		placed:   newBitset(n),
 		seq:      make([]int, 0, n),
-		main:     []core.AbsState{spec.Init()},
-		memo:     memo,
+		keyable:  !sh.unkeyable.Load(),
 	}
 	for i := range s.indegree {
 		s.indegree[i] = len(pre.preds[i])
 	}
+	init := spec.Init()
+	s.main = []core.AbsState{init}
+	if id, ok := s.internState(init); ok {
+		s.mainIDs = []uint32{id}
+	}
 	if !strong {
-		s.qstates = make(map[int][]core.AbsState, len(pre.queries))
+		s.qstates = make([][]core.AbsState, n)
+		s.qids = make([][]uint32, n)
 		for _, q := range pre.queries {
-			s.qstates[q] = []core.AbsState{spec.Init()}
+			// All pending justifications start at the initial state; the
+			// shared slice is safe because sets are never mutated in place
+			// and only enter-created buffers are ever recycled.
+			s.qstates[q] = s.main
+			s.qids[q] = s.mainIDs
 		}
 	}
 	return s
+}
+
+// reset unwinds the searcher back to the empty prefix by leaving every placed
+// label, recycling the state-set buffers along the way. Workers call it
+// between work items.
+func (s *searcher) reset() {
+	for len(s.seq) > 0 {
+		s.leave(s.seq[len(s.seq)-1])
+	}
+}
+
+// replay re-places the labels of a donated prefix. The donor entered every
+// element but the last before donating, and enter is deterministic, so only
+// the final element can prune; a false return means the whole branch was
+// refuted during replay (accounted here, exactly once — the donor never
+// explored it).
+func (s *searcher) replay(prefix []int) bool {
+	for _, i := range prefix {
+		if !s.enter(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// internState interns the canonical key of one abstract state. A state
+// without a key permanently disables keying for this worker and memoization
+// for the whole search.
+func (s *searcher) internState(phi core.AbsState) (uint32, bool) {
+	if !s.keyable {
+		return 0, false
+	}
+	if keyer, ok := phi.(core.StateKeyer); ok {
+		if key, ok := keyer.StateKey(); ok {
+			return s.intern.id(key), true
+		}
+	}
+	s.keyable = false
+	s.sh.unkeyable.Store(true)
+	return 0, false
 }
 
 // flush merges the worker-local counters and prune reason into the shared
@@ -105,6 +196,8 @@ func (s *searcher) flush() {
 	s.sh.leaves.Add(s.leaves)
 	s.sh.pruned.Add(s.pruned)
 	s.sh.memoHits.Add(s.memoHit)
+	s.sh.steals.Add(s.steals)
+	s.sh.donated.Add(s.donated)
 	if err := s.reason.err(); err != nil {
 		s.sh.setErr(err)
 	}
@@ -126,34 +219,73 @@ func (s *searcher) dfs() status {
 		s.sh.recordWitness(s.witness())
 		return sFound
 	}
-	key, keyed := "", false
-	if s.memo != nil {
-		key, keyed = s.memoKey()
-		if keyed && s.memo.seen(key) {
+	if key, keyed := s.memoKey(); keyed {
+		if !s.memo.claim(key) {
+			// An equal configuration is being (or has been) explored by some
+			// worker; its subtree equals ours, so skip.
 			s.memoHit++
 			return sExhausted
 		}
+	}
+	if depth := len(s.seq); s.queue != nil && depth < maxDonateDepth {
+		return s.exploreSplit(depth)
 	}
 	for _, i := range s.pre.order {
 		if s.indegree[i] != 0 || s.placed.get(i) {
 			continue
 		}
-		if !s.enter(i) {
-			continue
-		}
-		st := s.dfs()
-		s.leave(i)
-		if st != sExhausted {
+		if st := s.explore(i); st != sExhausted {
 			return st
 		}
 	}
-	if keyed {
-		// The subtree is fully explored and witness-free; any later prefix
-		// reaching the same (placed-set, spec-state) configuration can skip
-		// it.
-		s.memo.mark(key)
+	return sExhausted
+}
+
+// exploreSplit is the shallow-depth candidate loop of the work-stealing
+// scheduler: it collects the frontier into per-depth scratch and, when some
+// worker is starving, keeps only the first branch for itself and donates the
+// rest to the queue before descending — so idle workers are fed immediately
+// instead of after this worker finishes its first subtree.
+func (s *searcher) exploreSplit(depth int) status {
+	cands := s.cands[depth][:0]
+	for _, i := range s.pre.order {
+		if s.indegree[i] == 0 && !s.placed.get(i) {
+			cands = append(cands, i)
+		}
+	}
+	s.cands[depth] = cands
+	if len(cands) > 1 && s.queue.hungry() {
+		for _, i := range cands[1:] {
+			s.donate(i)
+		}
+		cands = cands[:1]
+	}
+	for _, i := range cands {
+		if st := s.explore(i); st != sExhausted {
+			return st
+		}
 	}
 	return sExhausted
+}
+
+// explore descends into candidate i: enter, recurse, leave.
+func (s *searcher) explore(i int) status {
+	if !s.enter(i) {
+		return sExhausted
+	}
+	st := s.dfs()
+	s.leave(i)
+	return st
+}
+
+// donate publishes the branch (current prefix + candidate i) to the work
+// queue for an idle worker to pick up.
+func (s *searcher) donate(i int) {
+	prefix := make([]int, len(s.seq)+1)
+	copy(prefix, s.seq)
+	prefix[len(s.seq)] = i
+	s.queue.push(workItem{prefix: prefix, donor: s.worker})
+	s.donated++
 }
 
 // enter tries to extend the prefix with label index i. It returns false —
@@ -163,60 +295,82 @@ func (s *searcher) enter(i int) bool {
 	l := s.pre.labels[i]
 	if s.strong {
 		next := s.stepAll(s.main, l)
-		if len(next) == 0 {
+		if len(next.states) == 0 {
+			s.putBuf(next)
 			s.pruned++
 			s.reason = pruneReason{label: l, cond: "prefix"}
 			return false
 		}
+		fr := s.pushFrame()
+		fr.main, fr.mainIDs = s.main, s.mainIDs
 		if !l.IsQuery() {
 			// Updates (and query-updates, which strong mode treats as
 			// updates) advance the prefix state; queries only have to be
 			// admitted at it.
-			s.pushFrame(frame{main: s.main})
-			s.main = next
+			fr.advanced = true
+			s.main, s.mainIDs = next.states, next.ids
 		} else {
-			s.pushFrame(frame{main: s.main})
+			s.putBuf(next)
 		}
 	} else if l.IsUpdate() {
 		next := s.stepAll(s.main, l)
-		if len(next) == 0 {
+		if len(next.states) == 0 {
+			s.putBuf(next)
 			s.pruned++
 			s.reason = pruneReason{label: l, cond: "ii"}
 			return false
 		}
 		// Advance every pending query this update is visible to; a dead
 		// justification dooms every completion of the prefix, so prune now
-		// instead of when the query is placed.
-		fr := frame{main: s.main}
-		var stepped [][]core.AbsState
+		// instead of when the query is placed. The advanced sets are staged
+		// in s.stepped so a late death leaves the searcher untouched.
+		s.stepped = s.stepped[:0]
 		for _, q := range s.pre.affected[i] {
 			if s.placed.get(q) {
 				continue
 			}
 			nq := s.stepAll(s.qstates[q], l)
-			if len(nq) == 0 {
+			if len(nq.states) == 0 {
+				s.putBuf(nq)
+				for _, b := range s.stepped {
+					s.putBuf(b)
+				}
+				s.stepped = s.stepped[:0]
+				s.putBuf(next)
 				s.pruned++
 				s.reason = pruneReason{label: l, cond: "iii", query: s.pre.labels[q]}
 				return false
 			}
-			fr.saved = append(fr.saved, savedQuery{q: q, states: s.qstates[q]})
-			stepped = append(stepped, nq)
+			s.stepped = append(s.stepped, nq)
 		}
-		for k, sv := range fr.saved {
-			s.qstates[sv.q] = stepped[k]
+		fr := s.pushFrame()
+		fr.main, fr.mainIDs = s.main, s.mainIDs
+		fr.advanced = true
+		k := 0
+		for _, q := range s.pre.affected[i] {
+			if s.placed.get(q) {
+				continue
+			}
+			fr.saved = append(fr.saved, savedQuery{q: q, states: s.qstates[q], ids: s.qids[q]})
+			s.qstates[q], s.qids[q] = s.stepped[k].states, s.stepped[k].ids
+			k++
 		}
-		s.pushFrame(fr)
-		s.main = next
+		s.stepped = s.stepped[:0]
+		s.main, s.mainIDs = next.states, next.ids
 	} else {
 		// Queries: the justification (visible updates in placed order,
 		// then the query) must be admitted. All visible updates are
 		// necessarily placed already, so qstates[i] is final.
-		if len(s.stepAll(s.qstates[i], l)) == 0 {
+		res := s.stepAll(s.qstates[i], l)
+		admitted := len(res.states) > 0
+		s.putBuf(res)
+		if !admitted {
 			s.pruned++
 			s.reason = pruneReason{label: l, cond: "iii", query: nil}
 			return false
 		}
-		s.pushFrame(frame{main: s.main})
+		fr := s.pushFrame()
+		fr.main, fr.mainIDs = s.main, s.mainIDs
 	}
 	s.placed.set(i)
 	s.seq = append(s.seq, i)
@@ -226,48 +380,130 @@ func (s *searcher) enter(i int) bool {
 	return true
 }
 
-// leave undoes enter(i).
+// leave undoes enter(i), recycling the state-set buffers the matching enter
+// created.
 func (s *searcher) leave(i int) {
 	for _, j := range s.pre.succs[i] {
 		s.indegree[j]++
 	}
 	s.seq = s.seq[:len(s.seq)-1]
 	s.placed.clear(i)
-	fr := s.popFrame()
-	s.main = fr.main
-	for _, sv := range fr.saved {
-		s.qstates[sv.q] = sv.states
+	fr := &s.frames[len(s.frames)-1]
+	for k := len(fr.saved) - 1; k >= 0; k-- {
+		sv := fr.saved[k]
+		s.putBuf(setBuf{states: s.qstates[sv.q], ids: s.qids[sv.q]})
+		s.qstates[sv.q], s.qids[sv.q] = sv.states, sv.ids
 	}
+	if fr.advanced {
+		s.putBuf(setBuf{states: s.main, ids: s.mainIDs})
+	}
+	s.main, s.mainIDs = fr.main, fr.mainIDs
+	s.frames = s.frames[:len(s.frames)-1]
 }
 
 // frame is the undo record of one placement. State-set slices are never
-// mutated in place (stepAll builds fresh ones), so saving the old slice
-// headers restores them exactly.
+// mutated in place once published (stepAll dedups inside the buffer before it
+// becomes visible), so saving the old slice headers restores them exactly;
+// advanced records whether enter replaced the main set (and leave must
+// recycle the replacement).
 type frame struct {
-	main  []core.AbsState
-	saved []savedQuery
+	main     []core.AbsState
+	mainIDs  []uint32
+	advanced bool
+	saved    []savedQuery
 }
 
 type savedQuery struct {
 	q      int
 	states []core.AbsState
+	ids    []uint32
 }
 
-func (s *searcher) pushFrame(f frame) { s.frames = append(s.frames, f) }
-
-func (s *searcher) popFrame() frame {
-	f := s.frames[len(s.frames)-1]
-	s.frames = s.frames[:len(s.frames)-1]
-	return f
-}
-
-// stepAll applies label l to every state of the set and dedups the result.
-func (s *searcher) stepAll(states []core.AbsState, l *core.Label) []core.AbsState {
-	var next []core.AbsState
-	for _, phi := range states {
-		next = append(next, s.spec.Step(phi, l)...)
+// pushFrame returns the next frame slot, reusing the backing array (and each
+// frame's saved slice) across placements so the steady-state DFS allocates no
+// frames at all.
+func (s *searcher) pushFrame() *frame {
+	if len(s.frames) == cap(s.frames) {
+		s.frames = append(s.frames, frame{})
+	} else {
+		s.frames = s.frames[:len(s.frames)+1]
 	}
-	return core.DedupStates(next)
+	fr := &s.frames[len(s.frames)-1]
+	fr.main, fr.mainIDs = nil, nil
+	fr.advanced = false
+	fr.saved = fr.saved[:0]
+	return fr
+}
+
+// getBuf takes a recycled state-set buffer from the pool (or a zero one).
+func (s *searcher) getBuf() setBuf {
+	if n := len(s.pool); n > 0 {
+		b := s.pool[n-1]
+		s.pool = s.pool[:n-1]
+		return b
+	}
+	return setBuf{}
+}
+
+// putBuf returns a buffer to the pool, dropping its state references so the
+// pool does not pin dead abstract states.
+func (s *searcher) putBuf(b setBuf) {
+	for i := range b.states {
+		b.states[i] = nil
+	}
+	s.pool = append(s.pool, setBuf{states: b.states[:0], ids: b.ids[:0]})
+}
+
+// stepAll applies label l to every state of the set and returns the deduped
+// successor set in a pooled buffer. While the specification is keyable,
+// deduplication is by interned ID with the IDs kept sorted (the canonical
+// order memo hashing relies on); otherwise it falls back to pairwise
+// EqualAbs.
+func (s *searcher) stepAll(states []core.AbsState, l *core.Label) setBuf {
+	buf := s.getBuf()
+	for _, phi := range states {
+		for _, nxt := range s.spec.Step(phi, l) {
+			s.insert(&buf, nxt)
+		}
+	}
+	return buf
+}
+
+// insert adds one successor state to the buffer, deduplicating by interned ID
+// (ordered insert into the sorted ID slice) or, once keying is off, by
+// EqualAbs scan.
+func (s *searcher) insert(buf *setBuf, phi core.AbsState) {
+	if s.keyable {
+		if id, ok := s.internState(phi); ok {
+			pos := len(buf.ids)
+			for k, existing := range buf.ids {
+				if existing == id {
+					return
+				}
+				if existing > id {
+					pos = k
+					break
+				}
+			}
+			buf.ids = append(buf.ids, 0)
+			copy(buf.ids[pos+1:], buf.ids[pos:])
+			buf.ids[pos] = id
+			buf.states = append(buf.states, nil)
+			copy(buf.states[pos+1:], buf.states[pos:])
+			buf.states[pos] = phi
+			return
+		}
+		// Keying just flipped off: the states inserted so far were deduped
+		// consistently (equal IDs iff equal states); continue with EqualAbs
+		// and drop the now-meaningless ID slice.
+		buf.ids = buf.ids[:0]
+	}
+	for _, t := range buf.states {
+		if t.EqualAbs(phi) {
+			return
+		}
+	}
+	buf.states = append(buf.states, phi)
 }
 
 // witness materializes the current (complete) prefix as a label sequence.

@@ -8,17 +8,26 @@ import (
 )
 
 // shared is the coordination state of one search: counters, the node budget,
-// the cancellation flag and the witness slot, shared by all workers.
+// the cancellation flag, the witness slot and the global keyability flag,
+// shared by all workers.
 type shared struct {
 	stop      atomic.Bool
 	truncated atomic.Bool
+	// unkeyable flips to true permanently once any worker encounters a state
+	// without a canonical key; memoization is then off for the whole search.
+	unkeyable atomic.Bool
 	charged   atomic.Int64
 	budget    int64 // 0 = unlimited
+	// shards is the stripe count of the shared memo table (0 when
+	// memoization is disabled), reported in the outcome.
+	shards int
 
 	nodes    atomic.Int64
 	leaves   atomic.Int64
 	pruned   atomic.Int64
 	memoHits atomic.Int64
+	steals   atomic.Int64
+	donated  atomic.Int64
 
 	mu      sync.Mutex
 	witness []*core.Label
@@ -63,9 +72,7 @@ func (sh *shared) setErr(err error) {
 	sh.mu.Unlock()
 }
 
-// outcome assembles the engine outcome once every worker has flushed. The +1
-// accounts for the shared root node (the empty prefix), which the parallel
-// runner never visits explicitly.
+// outcome assembles the engine outcome once every worker has flushed.
 func (sh *shared) outcome(workers int) core.EngineOutcome {
 	sh.mu.Lock()
 	witness, lastErr := sh.witness, sh.lastErr
@@ -78,10 +85,9 @@ func (sh *shared) outcome(workers int) core.EngineOutcome {
 		Nodes:    int(sh.nodes.Load()),
 		Pruned:   int(sh.pruned.Load()),
 		MemoHits: int(sh.memoHits.Load()),
+		Steals:   int(sh.steals.Load()),
+		Shards:   sh.shards,
 		Workers:  workers,
-	}
-	if workers > 1 {
-		out.Nodes++
 	}
 	out.Complete = out.OK || !sh.truncated.Load()
 	return out
