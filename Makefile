@@ -1,6 +1,16 @@
 GO ?= go
 
-.PHONY: build test bench bench-json lint fmt
+# Benchmarks RUN by `make bench-gate`: the refutation and batch-checking hot
+# paths this repository optimizes. ralin-benchdiff's default -match then
+# gates only their scheduling-independent variants (sequential searches,
+# single-worker batches) — the GOMAXPROCS-dependent variants are measured
+# and reported but would gate on the host's core count, not the code. The
+# gate fails on a >1% allocs/op increase and (same-CPU runs, NS_THRESHOLD>0)
+# on a >$(NS_THRESHOLD)% ns/op regression vs the committed BENCH_results.json.
+BENCH_GATE_PATTERN = BenchmarkEngineNonLinearizable|BenchmarkBatchCheckRandomHistories|BenchmarkBatchRefutations
+NS_THRESHOLD ?= 25
+
+.PHONY: build test bench bench-json bench-gate lint fmt
 
 build:
 	$(GO) build ./...
@@ -27,10 +37,27 @@ bench-json:
 	@rm -f bench-raw.txt
 	@echo "wrote BENCH_results.json"
 
+# The benchmark regression gate: re-run the gated benchmarks (several
+# iterations so ns/op is not a single-sample reading) and diff them against
+# the committed baseline. Run it BEFORE bench-json in any pipeline — the
+# bench-json target overwrites BENCH_results.json, which is the baseline this
+# gate compares against. The temporary files are left behind on failure for
+# inspection.
+bench-gate:
+	$(GO) test -run '^$$' -bench '$(BENCH_GATE_PATTERN)' -benchmem -benchtime 10x -count 1 . > bench-gate-raw.txt
+	$(GO) run ./cmd/ralin-bench2json < bench-gate-raw.txt > bench-gate.json
+	$(GO) run ./cmd/ralin-benchdiff -baseline BENCH_results.json -candidate bench-gate.json -max-ns-regression $(NS_THRESHOLD) -max-allocs-regression 1
+	@rm -f bench-gate-raw.txt bench-gate.json
+
 lint:
 	$(GO) vet ./...
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipped (CI runs the pinned version)"; \
 	fi
 
 fmt:

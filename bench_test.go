@@ -208,6 +208,95 @@ func BenchmarkConstructiveVsExhaustive(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchCheckRandomHistories measures the CheckRandomHistories batch
+// pipeline end to end — workload generation, exhaustive checking (strategies
+// disabled so every trial drives the search engine) and deterministic
+// aggregation — at the four corners of {per-history fresh engine state,
+// shared batch session} × {1, 4} batch workers. fresh/w1 is the pre-batch
+// pipeline (every history rebuilt the interner, the 64-shard memo table and
+// the searcher scratch from scratch); shared/w4 is the default pipeline after
+// the batch-session change. Inner search parallelism is pinned to 1 so the
+// variants differ only in batch structure. See BENCHMARKS.md for committed
+// numbers; `make bench-gate` diffs the allocs/op of every variant against the
+// committed baseline.
+func BenchmarkBatchCheckRandomHistories(b *testing.B) {
+	d, err := registry.Lookup("OR-Set")
+	if err != nil {
+		b.Fatal(err)
+	}
+	check := d.CheckOptions()
+	check.Strategies = nil
+	check.Parallelism = 1
+	cfg := harness.WorkloadConfig{
+		Seed: 5, Ops: 8, Replicas: 3,
+		Elems: []string{"a", "b", "c"}, DeliveryProb: 40,
+	}
+	const trials = 32
+	variants := []struct {
+		name  string
+		batch harness.BatchOptions
+	}{
+		{"fresh/w1", harness.BatchOptions{Workers: 1, FreshSessions: true, Check: &check}},
+		{"fresh/w4", harness.BatchOptions{Workers: 4, FreshSessions: true, Check: &check}},
+		{"shared/w1", harness.BatchOptions{Workers: 1, Check: &check}},
+		{"shared/w4", harness.BatchOptions{Workers: 4, Check: &check}},
+	}
+	for _, v := range variants {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out, err := harness.CheckRandomHistoriesWith(d, trials, cfg, v.batch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !out.OK() {
+					b.Fatalf("random OR-Set histories must be RA-linearizable: %+v", out)
+				}
+			}
+			b.ReportMetric(float64(trials)*float64(b.N)/b.Elapsed().Seconds(), "histories/sec")
+		})
+	}
+}
+
+// BenchmarkBatchRefutations measures a batch of full refutations (the
+// engine-dominated workload: pre-built non-RA-linearizable counter histories,
+// no generation cost) through CheckHistoryBatch, per-history fresh state
+// versus one shared session. Every trial must refute its whole search space,
+// so this isolates what the shared session and the StepAppend fast path save
+// inside the checking pipeline itself.
+func BenchmarkBatchRefutations(b *testing.B) {
+	var hs []*core.History
+	for i := 0; i < 12; i++ {
+		hs = append(hs, nonLinearizableHistory(4))
+	}
+	opts := core.CheckOptions{Exhaustive: true, Parallelism: 1}
+	variants := []struct {
+		name  string
+		batch harness.BatchOptions
+	}{
+		{"fresh/w1", harness.BatchOptions{Workers: 1, FreshSessions: true}},
+		{"shared/w1", harness.BatchOptions{Workers: 1}},
+		{"shared/w4", harness.BatchOptions{Workers: 4}},
+	}
+	for _, v := range variants {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out, err := harness.CheckHistoryBatch("refutations", spec.Counter{}, opts, hs, v.batch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if out.Linearizable != 0 {
+					b.Fatalf("every history must be refuted: %+v", out)
+				}
+			}
+			b.ReportMetric(float64(len(hs))*float64(b.N)/b.Elapsed().Seconds(), "histories/sec")
+		})
+	}
+}
+
 // nonLinearizableHistory builds the adversarial history of the engine
 // comparison: k concurrent counter increments all visible to one read that
 // returns an impossible value. The legacy enumerator validates all k!

@@ -33,6 +33,7 @@ func main() {
 	delivery := flag.Int("delivery", 40, "probability (percent) of a propagation step between operations")
 	engine := flag.String("engine", "auto", "exhaustive-search engine: auto, pruned or legacy")
 	parallel := flag.Int("parallel", 0, "pruned-engine worker goroutines sharing one memo table via work stealing (0 = GOMAXPROCS)")
+	batchWorkers := flag.Int("batch-workers", 0, "goroutines checking histories of one batch concurrently over a shared engine session (0 = GOMAXPROCS, 1 = sequential)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file before exiting")
 	list := flag.Bool("list", false, "list the registered CRDTs and exit")
@@ -57,7 +58,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	code := run(*engine, *parallel, *name, *histories, *ops, *replicas, *seed, *delivery)
+	code := run(*engine, *parallel, *batchWorkers, *name, *histories, *ops, *replicas, *seed, *delivery)
 	if *cpuprofile != "" {
 		pprof.StopCPUProfile()
 	}
@@ -80,13 +81,14 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func run(engine string, parallel int, name string, histories, ops, replicas int, seed int64, delivery int) int {
+func run(engine string, parallel, batchWorkers int, name string, histories, ops, replicas int, seed int64, delivery int) int {
 	eng, err := core.ParseEngine(engine)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ralin-check:", err)
 		return 1
 	}
 	harness.SetCheckEngine(eng, parallel)
+	harness.SetBatchWorkers(batchWorkers)
 
 	d, err := registry.Lookup(name)
 	if err != nil {
@@ -116,6 +118,7 @@ func run(engine string, parallel int, name string, histories, ops, replicas int,
 		fmt.Printf("  search nodes:        %d explored, %d pruned, %d memo hits\n", res.Nodes, res.Pruned, res.MemoHits)
 		fmt.Printf("  scheduler:           %d stolen branches, memo striped over %d shards\n", res.Steals, res.Shards)
 	}
+	fmt.Printf("  batch:               %d workers, %d interned states shared across histories\n", res.BatchWorkers, res.InternedStates)
 	if !res.OK() {
 		fmt.Printf("  FIRST FAILURE: %s\n", res.FailureExample)
 		return 1

@@ -29,6 +29,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment identifiers and exit")
 	engine := flag.String("engine", "auto", "exhaustive-search engine: auto, pruned or legacy")
 	parallel := flag.Int("parallel", 0, "pruned-engine worker goroutines sharing one memo table via work stealing (0 = GOMAXPROCS)")
+	batchWorkers := flag.Int("batch-workers", 0, "goroutines checking histories of one batch concurrently over a shared engine session (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	eng, err := core.ParseEngine(*engine)
@@ -37,6 +38,7 @@ func main() {
 		os.Exit(1)
 	}
 	harness.SetCheckEngine(eng, *parallel)
+	harness.SetBatchWorkers(*batchWorkers)
 
 	if *list {
 		for _, id := range harness.ExperimentIDs() {

@@ -39,6 +39,7 @@ func main() {
 	histories := flag.Int("histories", 10, "random histories RA-checked per CRDT after the obligations (0 disables)")
 	engine := flag.String("engine", "auto", "exhaustive-search engine: auto, pruned or legacy")
 	parallel := flag.Int("parallel", 0, "pruned-engine worker goroutines sharing one memo table via work stealing (0 = GOMAXPROCS)")
+	batchWorkers := flag.Int("batch-workers", 0, "goroutines checking histories of one batch concurrently over a shared engine session (0 = GOMAXPROCS, 1 = sequential)")
 	list := flag.Bool("list", false, "list the registered CRDTs and exit")
 	flag.Parse()
 
@@ -55,6 +56,7 @@ func main() {
 		os.Exit(1)
 	}
 	harness.SetCheckEngine(eng, *parallel)
+	harness.SetBatchWorkers(*batchWorkers)
 	opts := verify.Options{
 		Seed:      *seed,
 		Trials:    *trials,

@@ -443,21 +443,31 @@ func (s *Spec) Init() core.AbsState {
 
 // Step dispatches the label to its object's specification.
 func (s *Spec) Step(phi core.AbsState, l *core.Label) []core.AbsState {
+	return s.StepAppend(nil, phi, l)
+}
+
+// StepAppend appends the successors of phi under l to dst (the
+// core.StepAppender fast path): the touched component's successors are
+// stepped through its own specification's fast path directly into dst's tail
+// and then wrapped into product states in place, so no intermediate slice is
+// allocated per transition.
+func (s *Spec) StepAppend(dst []core.AbsState, phi core.AbsState, l *core.Label) []core.AbsState {
 	p, ok := phi.(ProductState)
 	if !ok {
-		return nil
+		return dst
 	}
 	sub, ok := s.specs[l.Object]
 	if !ok {
-		return nil
+		return dst
 	}
-	var out []core.AbsState
-	for _, next := range sub.Step(p[l.Object], l) {
+	base := len(dst)
+	dst = core.StepInto(sub, dst, p[l.Object], l)
+	for i := base; i < len(dst); i++ {
 		np := p.CloneAbs().(ProductState)
-		np[l.Object] = next
-		out = append(out, np)
+		np[l.Object] = dst[i]
+		dst[i] = np
 	}
-	return out
+	return dst
 }
 
 // Rewriting is the composed query-update rewriting: each label is rewritten by

@@ -346,3 +346,49 @@ func TestComposeRandomWorkloadExecutionOrderObjectsUnrestricted(t *testing.T) {
 		}
 	}
 }
+
+// TestComposedSpecStepAppendMatchesStep fuzzes the product specification's
+// core.StepAppender fast path against Step on random labels of both objects
+// (admitted and rejected), checking successor-for-successor agreement and
+// that the dst prefix survives untouched.
+func TestComposedSpecStepAppendMatchesStep(t *testing.T) {
+	objects := []Object{
+		{Name: "c", Descriptor: counter.Descriptor()},
+		{Name: "s", Descriptor: twopset.Descriptor()},
+	}
+	sp := NewSpec(objects...)
+	sentinel := core.AbsState(ProductState{})
+	rng := rand.New(rand.NewSource(5))
+	phi := sp.Init()
+	admitted := 0
+	for step := 0; step < 60; step++ {
+		var l *core.Label
+		switch rng.Intn(4) {
+		case 0:
+			l = &core.Label{Object: "c", Method: "inc", Kind: core.KindUpdate}
+		case 1:
+			l = &core.Label{Object: "c", Method: "read", Ret: int64(rng.Intn(4)), Kind: core.KindQuery}
+		case 2:
+			l = &core.Label{Object: "s", Method: "add", Args: []core.Value{"x"}, Kind: core.KindUpdate}
+		default:
+			l = &core.Label{Object: "nope", Method: "inc", Kind: core.KindUpdate}
+		}
+		want := sp.Step(phi, l)
+		got := sp.StepAppend([]core.AbsState{sentinel}, phi, l)
+		if len(got) != len(want)+1 || !got[0].EqualAbs(sentinel) {
+			t.Fatalf("step %d %v: dst prefix clobbered (len %d)", step, l, len(got))
+		}
+		for i, w := range want {
+			if !got[i+1].EqualAbs(w) {
+				t.Fatalf("step %d %v: successor %d differs: %v vs %v", step, l, i, w, got[i+1])
+			}
+		}
+		if len(want) > 0 {
+			admitted++
+			phi = want[rng.Intn(len(want))]
+		}
+	}
+	if admitted == 0 {
+		t.Fatal("no admitted transitions — generator too weak")
+	}
+}

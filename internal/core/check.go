@@ -75,6 +75,20 @@ func ParseEngine(s string) (Engine, error) {
 	}
 }
 
+// EngineSession is an opaque handle to cross-check state owned by a search
+// engine: interned state IDs, memo-table arenas and pooled scratch that one
+// batch of checks (for example a harness.CheckRandomHistories run) reuses
+// instead of rebuilding per history. Sessions are created by the engine
+// package (search.NewSession) and threaded through CheckOptions.Session or
+// CheckRAWith; a nil session gives every check fresh state, which is always
+// correct, just slower for batches. Implementations must be safe for
+// concurrent use by multiple checks.
+type EngineSession interface {
+	// EngineSessionKind names the engine the session belongs to; an engine
+	// ignores sessions of a kind it does not recognize.
+	EngineSessionKind() string
+}
+
 // CheckOptions configures the RA-linearizability checker.
 type CheckOptions struct {
 	// Rewriting is the query-update rewriting γ to apply before checking.
@@ -104,6 +118,10 @@ type CheckOptions struct {
 	// DisableMemo turns off the pruned engine's memoization of visited
 	// (frontier-set, spec-state) pairs.
 	DisableMemo bool
+	// Session optionally carries engine state shared across the checks of a
+	// batch (interner, memo arena, pooled buffers). Nil means fresh state per
+	// check. See CheckRAWith.
+	Session EngineSession
 }
 
 // DefaultCheckOptions tries both constructive strategies and then falls back
@@ -343,6 +361,16 @@ func CheckRA(h *History, spec Spec, opts CheckOptions) Result {
 		res.LastErr = fmt.Errorf("%w: %v", ErrNotRALinearizable, res.LastErr)
 	}
 	return res
+}
+
+// CheckRAWith is CheckRA with an explicit engine session: the check reuses
+// the session's interned state IDs and pooled search scratch instead of
+// rebuilding them, which amortizes warm-up across the histories of a batch.
+// A nil session is the same as CheckRA. The session must outlive the call and
+// may be shared by concurrent checks.
+func CheckRAWith(h *History, spec Spec, opts CheckOptions, session EngineSession) Result {
+	opts.Session = session
+	return CheckRA(h, spec, opts)
 }
 
 // applyEngineOutcome folds a search engine's outcome into a Result.

@@ -37,21 +37,30 @@ type rewrittenPair struct {
 // RewrittenHistory is the γ-rewriting γ(h) of a history together with the
 // mapping from original label identifiers to the identifiers of their images.
 type RewrittenHistory struct {
-	// History is the rewritten history (L', vis').
+	// History is the rewritten history (L', vis'). For the identity fast
+	// path (nil rewriting, no query-updates) it aliases the input history.
 	History *History
-	// images maps each original label identifier to its query/update parts.
+	// images maps each original label identifier to its query/update parts;
+	// nil means the identity rewriting, whose images are the labels
+	// themselves.
 	images map[uint64]rewrittenPair
 }
 
 // QueryPart returns the rewritten label playing the role qry(γ(ℓ)) for the
 // original label identifier id.
 func (r *RewrittenHistory) QueryPart(id uint64) *Label {
+	if r.images == nil {
+		return r.History.Label(id)
+	}
 	return r.History.Label(r.images[id].qry)
 }
 
 // UpdatePart returns the rewritten label playing the role upd(γ(ℓ)) for the
 // original label identifier id.
 func (r *RewrittenHistory) UpdatePart(id uint64) *Label {
+	if r.images == nil {
+		return r.History.Label(id)
+	}
 	return r.History.Label(r.images[id].upd)
 }
 
@@ -65,7 +74,28 @@ func (r *RewrittenHistory) UpdatePart(id uint64) *Label {
 // query-updates to a (query, update) pair.
 func RewriteHistory(h *History, g Rewriting) (*RewrittenHistory, error) {
 	if g == nil {
-		g = IdentityRewriting{}
+		// A nil rewriting declares γ = id. On a history without query-update
+		// labels the identity rewriting only relabels (fresh IDs, doubled
+		// GenSeq) without changing structure, kinds, the GenSeq order or the
+		// visibility relation, so alias the input instead of cloning it —
+		// this is the whole per-history rewrite cost of an identity-
+		// rewritten batch check. (The one observable difference: strategy
+		// linearizations break GenSeq *ties* on label ID, which is now the
+		// original ID rather than a fresh insertion-order one. Ties only
+		// arise in hand-built histories — the runtimes issue unique
+		// GenSeqs — and a tie has no defined execution order to preserve;
+		// the exhaustive phase is unaffected.) Query-updates are still rejected exactly like
+		// IdentityRewriting would, walking insertion order so the error
+		// deterministically names the first offending label. The scan uses
+		// the internal order slice directly — h.Labels() would copy the
+		// whole label slice on a path whose point is paying nothing per
+		// history.
+		for _, id := range h.order {
+			if l := h.labels[id]; l.IsQueryUpdate() {
+				return nil, fmt.Errorf("rewrite %v: query-update must map to a (query, update) pair", l)
+			}
+		}
+		return &RewrittenHistory{History: h}, nil
 	}
 	out := &RewrittenHistory{History: NewHistory(), images: make(map[uint64]rewrittenPair)}
 	var nextID uint64

@@ -39,6 +39,28 @@ type StateKeyer interface {
 	StateKey() (string, bool)
 }
 
+// StepAppender is the allocation-free fast path of a specification: instead
+// of materializing a fresh successor slice per transition the way Spec.Step
+// does, StepAppend appends the successor states of phi under l to dst and
+// returns the extended slice. It must behave exactly like Step otherwise —
+// same successors in the same order, dst[:len(dst)] left untouched, and no
+// mutation of phi — so callers may use whichever surface they hold. The
+// pruned search engine's hot loop steps through this interface with a reused
+// scratch buffer, falling back to Step for foreign specifications.
+type StepAppender interface {
+	StepAppend(dst []AbsState, phi AbsState, l *Label) []AbsState
+}
+
+// StepInto applies label l to phi through the StepAppend fast path when the
+// specification provides one, and through Step (with an appending copy)
+// otherwise. The returned slice is dst extended with the successors.
+func StepInto(s Spec, dst []AbsState, phi AbsState, l *Label) []AbsState {
+	if sa, ok := s.(StepAppender); ok {
+		return sa.StepAppend(dst, phi, l)
+	}
+	return append(dst, s.Step(phi, l)...)
+}
+
 // Admits reports whether the sequence of labels is admitted by the
 // specification, that is, whether the labels can be applied in order starting
 // from the initial state.
@@ -57,7 +79,7 @@ func statesFrom(s Spec, states []AbsState, seq []*Label) []AbsState {
 	for _, l := range seq {
 		var next []AbsState
 		for _, phi := range states {
-			next = append(next, s.Step(phi, l)...)
+			next = StepInto(s, next, phi, l)
 		}
 		states = DedupStates(next)
 		if len(states) == 0 {
@@ -136,7 +158,7 @@ func FirstRejected(s Spec, seq []*Label) int {
 	for i, l := range seq {
 		var next []AbsState
 		for _, phi := range states {
-			next = append(next, s.Step(phi, l)...)
+			next = StepInto(s, next, phi, l)
 		}
 		states = DedupStates(next)
 		if len(states) == 0 {

@@ -1,0 +1,154 @@
+package harness
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"ralin/internal/core"
+	"ralin/internal/crdt/registry"
+	"ralin/internal/spec"
+)
+
+// normalizeBatch strips the fields that legitimately differ between a
+// shared-session and a fresh-per-history run (pool geometry and session
+// statistics); everything else must be byte-identical.
+func normalizeBatch(hc HistoryCheck) HistoryCheck {
+	hc.BatchWorkers = 0
+	hc.InternedStates = 0
+	return hc
+}
+
+// incsHistory builds k concurrent inc() updates plus one read seeing all of
+// them and returning ret: RA-linearizable iff ret == k.
+func incsHistory(k int, ret int64) *core.History {
+	h := core.NewHistory()
+	for i := 1; i <= k; i++ {
+		h.MustAdd(&core.Label{ID: uint64(i), Method: "inc", Kind: core.KindUpdate, GenSeq: uint64(i)})
+	}
+	r := h.MustAdd(&core.Label{ID: uint64(k + 1), Method: "read", Ret: ret, Kind: core.KindQuery, GenSeq: uint64(k + 1)})
+	for i := 1; i <= k; i++ {
+		h.MustAddVis(uint64(i), r.ID)
+	}
+	return h
+}
+
+// TestBatchSharedSessionDifferential is the cross-history differential: for
+// every CRDT descriptor, a concurrent batch over one shared engine session
+// must produce exactly the verdicts, strategies and search statistics of the
+// sequential fresh-per-history pipeline (inner searches pinned sequential so
+// node counts are deterministic on both sides).
+func TestBatchSharedSessionDifferential(t *testing.T) {
+	for _, d := range registry.All() {
+		check := d.CheckOptions()
+		check.Parallelism = 1
+		cfg := WorkloadConfig{Seed: 9, Ops: 6, Replicas: 2, Elems: []string{"a", "b"}, DeliveryProb: 40}
+		shared, err := CheckRandomHistoriesWith(d, 6, cfg, BatchOptions{Workers: 4, Check: &check})
+		if err != nil {
+			t.Fatalf("%s shared: %v", d.Name, err)
+		}
+		fresh, err := CheckRandomHistoriesWith(d, 6, cfg, BatchOptions{Workers: 1, FreshSessions: true, Check: &check})
+		if err != nil {
+			t.Fatalf("%s fresh: %v", d.Name, err)
+		}
+		if !reflect.DeepEqual(normalizeBatch(shared), normalizeBatch(fresh)) {
+			t.Errorf("%s: shared-session batch diverged from fresh-per-history:\nshared: %+v\nfresh:  %+v",
+				d.Name, normalizeBatch(shared), normalizeBatch(fresh))
+		}
+		if shared.BatchWorkers != 4 || fresh.BatchWorkers != 1 {
+			t.Errorf("%s: pool geometry not surfaced: shared=%d fresh=%d",
+				d.Name, shared.BatchWorkers, fresh.BatchWorkers)
+		}
+	}
+}
+
+// TestBatchExhaustiveDifferential forces the exhaustive engine on every trial
+// (no constructive strategies), so the shared interner, memo arena and
+// searcher pools are actually exercised by each history — and must still
+// match fresh state exactly, node count for node count.
+func TestBatchExhaustiveDifferential(t *testing.T) {
+	for _, name := range []string{"OR-Set", "RGA", "Counter"} {
+		d, err := registry.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := d.CheckOptions()
+		check.Strategies = nil
+		check.Parallelism = 1
+		cfg := WorkloadConfig{Seed: 21, Ops: 6, Replicas: 2, Elems: []string{"a", "b"}, DeliveryProb: 40}
+		shared, err := CheckRandomHistoriesWith(d, 5, cfg, BatchOptions{Workers: 3, Check: &check})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := CheckRandomHistoriesWith(d, 5, cfg, BatchOptions{Workers: 1, FreshSessions: true, Check: &check})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(normalizeBatch(shared), normalizeBatch(fresh)) {
+			t.Errorf("%s: exhaustive shared batch diverged:\nshared: %+v\nfresh:  %+v",
+				name, normalizeBatch(shared), normalizeBatch(fresh))
+		}
+		if shared.Nodes == 0 {
+			t.Errorf("%s: exhaustive batch explored no nodes — the engine never ran", name)
+		}
+		if shared.InternedStates == 0 {
+			t.Errorf("%s: shared session interned no states", name)
+		}
+	}
+}
+
+// TestBatchBothPolarities runs a pre-built batch mixing RA-linearizable and
+// refuted histories through CheckHistoryBatch: shared and fresh runs must
+// agree verdict for verdict, and the failure example must be the first
+// refuted trial by index regardless of completion order.
+func TestBatchBothPolarities(t *testing.T) {
+	var hs []*core.History
+	for k := 3; k <= 6; k++ {
+		hs = append(hs, incsHistory(k, int64(k)))   // linearizable
+		hs = append(hs, incsHistory(k, int64(k)+7)) // refuted
+	}
+	opts := core.CheckOptions{Exhaustive: true, Parallelism: 1}
+	shared, err := CheckHistoryBatch("counter-mix", spec.Counter{}, opts, hs, BatchOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := CheckHistoryBatch("counter-mix", spec.Counter{}, opts, hs, BatchOptions{Workers: 1, FreshSessions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalizeBatch(shared), normalizeBatch(fresh)) {
+		t.Fatalf("mixed-polarity batch diverged:\nshared: %+v\nfresh:  %+v",
+			normalizeBatch(shared), normalizeBatch(fresh))
+	}
+	if shared.Linearizable != 4 || shared.Histories != 8 {
+		t.Fatalf("expected 4/8 linearizable: %+v", shared)
+	}
+	// Trial 1 (the k=3, read⇒10 history) is the first refuted index.
+	if !strings.HasPrefix(shared.FailureExample, "seed 1:") {
+		t.Fatalf("failure example must be the first refuted trial by index: %q", shared.FailureExample)
+	}
+}
+
+// TestBatchPoolRace saturates the batch pool (8 workers, inner parallelism 2,
+// one shared session) so `go test -race` — the CI configuration — exercises
+// the concurrent session pools, interner and memo stripes end to end.
+func TestBatchPoolRace(t *testing.T) {
+	d, err := registry.Lookup("OR-Set")
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := d.CheckOptions()
+	check.Strategies = nil // force the engine on every trial
+	check.Parallelism = 2  // inner parallel search on top of the batch pool
+	cfg := WorkloadConfig{Seed: 2, Ops: 6, Replicas: 3, Elems: []string{"a", "b"}, DeliveryProb: 40}
+	out, err := CheckRandomHistoriesWith(d, 16, cfg, BatchOptions{Workers: 8, Check: &check})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.OK() {
+		t.Fatalf("OR-Set histories must all be RA-linearizable: %+v", out)
+	}
+	if out.BatchWorkers != 8 {
+		t.Fatalf("expected 8 batch workers: %+v", out)
+	}
+}

@@ -4,20 +4,20 @@ import (
 	"fmt"
 
 	"ralin/internal/core"
-
-	// Importing internal/search registers the pruned engine with the core
-	// checker, so every experiment driven through this package (and through
-	// the cmd/ralin-* tools and benchmarks built on it) runs pruned by
-	// default.
-	_ "ralin/internal/search"
 )
+
+// This package imports internal/search (workload.go uses its batch
+// sessions), which registers the pruned engine with the core checker, so
+// every experiment driven through this package (and through the cmd/ralin-*
+// tools and benchmarks built on it) runs pruned by default.
 
 // Package-level checker tuning applied to every RA-linearizability check
 // issued by the experiments, tables and workloads in this package. The
-// cmd/ralin-* tools set it from their -engine/-parallel flags.
+// cmd/ralin-* tools set it from their -engine/-parallel/-batch-workers flags.
 var (
 	checkEngine      core.Engine
 	checkParallelism int
+	batchWorkers     int
 )
 
 // SetCheckEngine selects the exhaustive-search engine and its parallelism for
@@ -27,6 +27,11 @@ func SetCheckEngine(e core.Engine, parallelism int) {
 	checkEngine = e
 	checkParallelism = parallelism
 }
+
+// SetBatchWorkers bounds the worker pool CheckRandomHistories (and the other
+// batch entry points) fans trials across. Zero keeps the default
+// (GOMAXPROCS); one forces the sequential per-trial loop.
+func SetBatchWorkers(n int) { batchWorkers = n }
 
 // searchEffort renders the work a check's exhaustive phase performed in the
 // units of the engine that ran it: complete candidates for the legacy

@@ -9,10 +9,14 @@ package harness
 import (
 	"fmt"
 	"math/rand"
+	gruntime "runtime"
+	"sync"
+	"sync/atomic"
 
 	"ralin/internal/core"
 	"ralin/internal/crdt"
 	"ralin/internal/runtime"
+	"ralin/internal/search"
 )
 
 // WorkloadConfig describes a random workload over one CRDT object.
@@ -127,50 +131,215 @@ type HistoryCheck struct {
 	MemoHits int
 	Steals   int
 	Shards   int
-	// FailureExample describes the first non-linearizable history, if any.
+	// BatchWorkers is the number of goroutines the batch pool checked trials
+	// across.
+	BatchWorkers int
+	// InternedStates is the number of distinct abstract states interned by
+	// the batch's shared engine session — the state vocabulary reused across
+	// histories instead of being rebuilt per check. Zero when sessions were
+	// fresh per history or the exhaustive engine never ran.
+	InternedStates int
+	// FailureExample describes the first non-linearizable history (by trial
+	// index), if any.
 	FailureExample string
 }
 
 // OK reports whether every history was RA-linearizable.
 func (h HistoryCheck) OK() bool { return h.Linearizable == h.Histories }
 
+// BatchOptions tunes the batch pipeline behind CheckRandomHistories and
+// CheckHistoryBatch.
+type BatchOptions struct {
+	// Workers bounds the goroutines generating and checking trials
+	// concurrently. Zero uses the package default (SetBatchWorkers, falling
+	// back to GOMAXPROCS); one forces the sequential loop.
+	Workers int
+	// FreshSessions disables the shared engine session, giving every history
+	// fresh interner/memo/scratch state — the pre-batch behaviour, kept for
+	// differential testing and debugging.
+	FreshSessions bool
+	// Check overrides the descriptor's checker options for every trial of
+	// CheckRandomHistoriesWith (which takes no options parameter of its
+	// own); CheckHistoryBatch ignores it — its explicit opts parameter
+	// already plays that role. The batch pool still applies the package
+	// engine tuning and the shared session on top.
+	Check *core.CheckOptions
+}
+
 // CheckRandomHistories generates trials random histories of the CRDT and
 // checks each for RA-linearizability with the descriptor's designated
 // strategy (falling back to the other strategy and a bounded exhaustive
-// search).
+// search). Trials are fanned across a bounded worker pool sharing one engine
+// session (see CheckRandomHistoriesWith for control over both).
 func CheckRandomHistories(d crdt.Descriptor, trials int, cfg WorkloadConfig) (HistoryCheck, error) {
+	return CheckRandomHistoriesWith(d, trials, cfg, BatchOptions{})
+}
+
+// CheckRandomHistoriesWith is CheckRandomHistories with explicit batch
+// options. Trial i always uses seed cfg.Seed+i·7919 and the aggregation is
+// folded in trial order, so the result is deterministic regardless of worker
+// count or completion order (given deterministic per-check options).
+func CheckRandomHistoriesWith(d crdt.Descriptor, trials int, cfg WorkloadConfig, batch BatchOptions) (HistoryCheck, error) {
 	cfg.fill()
-	out := HistoryCheck{CRDT: d.Name, ByStrategy: map[string]int{}}
-	for i := 0; i < trials; i++ {
+	opts := d.CheckOptions()
+	if batch.Check != nil {
+		opts = *batch.Check
+	}
+	gen := func(i int) (*core.History, int64, error) {
 		trialCfg := cfg
 		trialCfg.Seed = cfg.Seed + int64(i)*7919
 		h, err := RunRandom(d, trialCfg)
+		return h, trialCfg.Seed, err
+	}
+	return runBatch(d.Name, d.Spec, opts, trials, gen, batch)
+}
+
+// CheckHistoryBatch checks a batch of pre-built histories against one
+// specification through the same shared-session worker pool as
+// CheckRandomHistories. The explicit opts parameter is the per-trial checker
+// configuration (batch.Check is ignored here). The failure example of trial
+// i is reported under "seed i" (the trial index).
+func CheckHistoryBatch(name string, sp core.Spec, opts core.CheckOptions, hs []*core.History, batch BatchOptions) (HistoryCheck, error) {
+	gen := func(i int) (*core.History, int64, error) { return hs[i], int64(i), nil }
+	return runBatch(name, sp, opts, len(hs), gen, batch)
+}
+
+// runBatch is the batch pipeline: a bounded worker pool generates and checks
+// trials over one shared engine session, and the per-trial results are folded
+// in trial order so stats, ByStrategy and the first FailureExample do not
+// depend on completion order.
+func runBatch(name string, sp core.Spec, opts core.CheckOptions, trials int, gen func(int) (*core.History, int64, error), batch BatchOptions) (HistoryCheck, error) {
+	workers := batch.Workers
+	if workers == 0 {
+		workers = batchWorkers
+	}
+	if workers <= 0 {
+		workers = gruntime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	opts = checkTuning(opts)
+	if workers > 1 && opts.Parallelism == 0 {
+		// Split the cores between the batch pool and each check's inner
+		// search rather than oversubscribing: a wide batch (workers ==
+		// GOMAXPROCS) runs each search sequentially — which also keeps
+		// per-trial search statistics deterministic — while a batch smaller
+		// than the machine (say 2 heavy histories on 16 cores) still fans
+		// each search across the idle cores. Callers pinning Parallelism
+		// (or Workers) keep full control.
+		opts.Parallelism = gruntime.GOMAXPROCS(0) / workers
+		if opts.Parallelism < 1 {
+			opts.Parallelism = 1
+		}
+	}
+	var sess *search.Session
+	if !batch.FreshSessions {
+		sess = search.NewSession()
+	}
+
+	// trialResult keeps only the scalar fields the fold consumes: holding
+	// full core.Results would pin every generated history (Result.Rewritten)
+	// and witness until the batch finishes, where the sequential loop let
+	// each trial's history become garbage immediately.
+	type trialResult struct {
+		seed     int64
+		ops      int
+		err      error
+		ok       bool
+		strategy *core.Strategy
+		lastErr  error
+		tried    int
+		nodes    int
+		pruned   int
+		memoHits int
+		steals   int
+		shards   int
+	}
+	results := make([]trialResult, trials)
+	// failed stops the dispatch of further trials once any trial errors, so
+	// a failing batch does not burn through its remaining histories first.
+	// Only dispatch stops — already-dispatched trials drain normally, and
+	// indices are dispatched in order, so every trial below the first
+	// erroring index has run and the fold below still reports the
+	// lowest-index error deterministically.
+	var failed atomic.Bool
+	runTrial := func(i int) {
+		h, seed, err := gen(i)
+		results[i].seed = seed
 		if err != nil {
-			return out, err
+			results[i].err = err
+			failed.Store(true)
+			return
+		}
+		results[i].ops = h.Len()
+		res := core.CheckRAWith(h, sp, opts, sess)
+		results[i].ok = res.OK
+		results[i].strategy = res.Strategy
+		results[i].lastErr = res.LastErr
+		results[i].tried = res.Tried
+		results[i].nodes = res.Nodes
+		results[i].pruned = res.Pruned
+		results[i].memoHits = res.MemoHits
+		results[i].steals = res.Steals
+		results[i].shards = res.Shards
+	}
+	if workers <= 1 {
+		for i := 0; i < trials && !failed.Load(); i++ {
+			runTrial(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					runTrial(i)
+				}
+			}()
+		}
+		for i := 0; i < trials && !failed.Load(); i++ {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	out := HistoryCheck{CRDT: name, ByStrategy: map[string]int{}, BatchWorkers: workers}
+	for i := range results {
+		tr := &results[i]
+		if tr.err != nil {
+			out.InternedStates = sess.InternedStates()
+			return out, tr.err
 		}
 		out.Histories++
-		out.Operations += h.Len()
-		res := core.CheckRA(h, d.Spec, checkTuning(d.CheckOptions()))
-		out.Tried += res.Tried
-		out.Nodes += res.Nodes
-		out.Pruned += res.Pruned
-		out.MemoHits += res.MemoHits
-		out.Steals += res.Steals
-		if res.Shards > out.Shards {
-			out.Shards = res.Shards
+		out.Operations += tr.ops
+		out.Tried += tr.tried
+		out.Nodes += tr.nodes
+		out.Pruned += tr.pruned
+		out.MemoHits += tr.memoHits
+		out.Steals += tr.steals
+		if tr.shards > out.Shards {
+			out.Shards = tr.shards
 		}
-		if !res.OK {
+		if !tr.ok {
 			if out.FailureExample == "" {
-				out.FailureExample = fmt.Sprintf("seed %d: %v", trialCfg.Seed, res.LastErr)
+				out.FailureExample = fmt.Sprintf("seed %d: %v", tr.seed, tr.lastErr)
 			}
 			continue
 		}
 		out.Linearizable++
-		if res.Strategy != nil {
-			out.ByStrategy[res.Strategy.String()]++
+		if tr.strategy != nil {
+			out.ByStrategy[tr.strategy.String()]++
 		} else {
 			out.ByStrategy["exhaustive"]++
 		}
 	}
+	out.InternedStates = sess.InternedStates()
 	return out, nil
 }

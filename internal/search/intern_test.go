@@ -103,8 +103,8 @@ func TestMemoKeyStableAcrossWorkers(t *testing.T) {
 	sh := newShared(0)
 	intern := newInterner()
 	memo := newMemoTable()
-	a := newSearcher(pre, spec.Counter{}, false, intern, memo, sh, nil, 0)
-	b := newSearcher(pre, spec.Counter{}, false, intern, memo, sh, nil, 1)
+	a := newSearcher(nil, pre, spec.Counter{}, false, intern, memo, sh, nil, 0)
+	b := newSearcher(nil, pre, spec.Counter{}, false, intern, memo, sh, nil, 1)
 	// Warm b's view of the interner in a different order: place 1 then 0.
 	if !b.enter(1) || !b.enter(0) {
 		t.Fatal("prefix [1 0] must be admissible")

@@ -55,6 +55,17 @@ func newMemoTable() *memoTable {
 	return m
 }
 
+// reset clears every stripe while keeping the maps' allocated buckets, so a
+// session's memo arena allocates its shard maps once per batch instead of
+// once per history. Keys mix per-history label indices, so stale entries must
+// never survive into the next check — clearing, not reuse of contents, is the
+// point. Must not be called while a search is still using the table.
+func (m *memoTable) reset() {
+	for i := range m.shards {
+		clear(m.shards[i].seen)
+	}
+}
+
 // claim records the configuration key and reports whether this call was the
 // first to do so. A false return means an equal configuration is already
 // being (or has been) explored elsewhere and the caller must skip its

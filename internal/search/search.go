@@ -61,18 +61,32 @@ func init() {
 // be justified by the full preceding update prefix, as in
 // core.CheckStrongLinearizable. The visibility relation of h must be acyclic
 // (core checks this before dispatching).
+//
+// When opts.Session carries a *Session (created by NewSession and threaded
+// through core.CheckRAWith), the search draws its interner, memo table and
+// searcher scratch from the session instead of allocating them: interned
+// state IDs are shared across every check of the session, while the memo
+// table and searchers are recycled through the session's pools — reset, not
+// reallocated — when the search finishes.
 func Run(h *core.History, spec core.Spec, strong bool, opts core.CheckOptions) core.EngineOutcome {
 	pre, err := prepare(h, strong)
 	if err != nil {
 		return core.EngineOutcome{Complete: true, LastErr: err}
 	}
+	sess, _ := opts.Session.(*Session)
 	sh := newShared(nodeBudget(opts))
+	var intern *interner
+	if sess != nil {
+		intern = sess.intern
+	} else {
+		intern = newInterner()
+	}
 	var memo *memoTable
 	if !opts.DisableMemo {
-		memo = newMemoTable()
+		memo = sess.getMemo()
+		defer sess.putMemo(memo)
 		sh.shards = memoShardCount
 	}
-	intern := newInterner()
 
 	workers := opts.Parallelism
 	if workers <= 0 {
@@ -84,9 +98,10 @@ func Run(h *core.History, spec core.Spec, strong bool, opts core.CheckOptions) c
 		workers = n
 	}
 	if workers <= 1 {
-		s := newSearcher(pre, spec, strong, intern, memo, sh, nil, 0)
+		s := newSearcher(sess.getSearcher(), pre, spec, strong, intern, memo, sh, nil, 0)
 		s.dfs()
 		s.flush()
+		sess.putSearcher(s)
 		return sh.outcome(1)
 	}
 
@@ -102,7 +117,8 @@ func Run(h *core.History, spec core.Spec, strong bool, opts core.CheckOptions) c
 	for w := 0; w < workers; w++ {
 		go func(id int) {
 			defer wg.Done()
-			s := newSearcher(pre, spec, strong, intern, memo, sh, queue, id)
+			s := newSearcher(sess.getSearcher(), pre, spec, strong, intern, memo, sh, queue, id)
+			defer sess.putSearcher(s)
 			defer s.flush()
 			for {
 				item, ok := queue.pop()

@@ -69,6 +69,12 @@ type searcher struct {
 	queue  *workQueue
 	worker int
 
+	// stepper is spec's allocation-free fast path, nil for foreign specs
+	// (stepAll then falls back to Step).
+	stepper core.StepAppender
+	// stepScratch is the reusable buffer StepAppend fills per transition.
+	stepScratch []core.AbsState
+
 	// indegree[i] counts the not-yet-placed visibility predecessors of
 	// labels[i]; a label is in the frontier when its count is zero.
 	indegree []int
@@ -88,6 +94,11 @@ type searcher struct {
 	// flips off (together with the shared flag that disables memoization for
 	// everyone) at the first state without a canonical key.
 	keyable bool
+	// initStates/initIDs back the bottom-of-stack main set ({ϕ0}); they are
+	// owned by the searcher (never pooled by putBuf) and reused across the
+	// checks of a session.
+	initStates []core.AbsState
+	initIDs    []uint32
 
 	frames []frame
 	// pool recycles state-set buffers released by leave; after warm-up the
@@ -108,36 +119,46 @@ type searcher struct {
 	donated int64
 }
 
-// newSearcher builds a fresh search state over the empty prefix. intern and
-// memo are shared by every worker of the search (memo may be nil when
-// memoization is disabled); queue is nil for a sequential search.
-func newSearcher(pre *prepared, spec core.Spec, strong bool, intern *interner, memo *memoTable, sh *shared, queue *workQueue, worker int) *searcher {
-	n := len(pre.labels)
-	s := &searcher{
-		pre:      pre,
-		spec:     spec,
-		strong:   strong,
-		sh:       sh,
-		intern:   intern,
-		memo:     memo,
-		queue:    queue,
-		worker:   worker,
-		indegree: make([]int, n),
-		placed:   newBitset(n),
-		seq:      make([]int, 0, n),
-		keyable:  !sh.unkeyable.Load(),
+// newSearcher builds a search state over the empty prefix, reusing the
+// backing arrays and buffer pools of recycled (a searcher released into a
+// Session by an earlier check; nil allocates fresh). intern and memo are
+// shared by every worker of the search (memo may be nil when memoization is
+// disabled); queue is nil for a sequential search.
+func newSearcher(recycled *searcher, pre *prepared, spec core.Spec, strong bool, intern *interner, memo *memoTable, sh *shared, queue *workQueue, worker int) *searcher {
+	s := recycled
+	if s == nil {
+		s = &searcher{}
 	}
+	n := len(pre.labels)
+	s.pre = pre
+	s.spec = spec
+	s.stepper, _ = spec.(core.StepAppender)
+	s.strong = strong
+	s.sh = sh
+	s.intern = intern
+	s.memo = memo
+	s.queue = queue
+	s.worker = worker
+	s.indegree = resizeInts(s.indegree, n)
 	for i := range s.indegree {
 		s.indegree[i] = len(pre.preds[i])
 	}
+	s.placed = resizeBitset(s.placed, n)
+	s.seq = s.seq[:0]
+	s.keyable = !sh.unkeyable.Load()
+	s.reason = pruneReason{}
+	s.nodes, s.leaves, s.pruned, s.memoHit, s.steals, s.donated = 0, 0, 0, 0, 0, 0
 	init := spec.Init()
-	s.main = []core.AbsState{init}
+	s.initStates = append(s.initStates[:0], init)
+	s.main = s.initStates
+	s.mainIDs = nil
 	if id, ok := s.internState(init); ok {
-		s.mainIDs = []uint32{id}
+		s.initIDs = append(s.initIDs[:0], id)
+		s.mainIDs = s.initIDs
 	}
+	s.qstates = resizeStateSets(s.qstates, n)
+	s.qids = resizeIDSets(s.qids, n)
 	if !strong {
-		s.qstates = make([][]core.AbsState, n)
-		s.qids = make([][]uint32, n)
 		for _, q := range pre.queries {
 			// All pending justifications start at the initial state; the
 			// shared slice is safe because sets are never mutated in place
@@ -147,6 +168,77 @@ func newSearcher(pre *prepared, spec core.Spec, strong bool, intern *interner, m
 		}
 	}
 	return s
+}
+
+// release unwinds the searcher and drops every reference into the finished
+// check (history, specification, shared state, live state sets) so a pooled
+// searcher pins nothing; the backing arrays, undo frames and buffer pool stay
+// for the next check.
+func (s *searcher) release() {
+	s.reset()
+	s.reason = pruneReason{} // flush already rendered it; drop its labels
+	s.pre = nil
+	s.spec = nil
+	s.stepper = nil
+	s.sh = nil
+	s.intern = nil
+	s.memo = nil
+	s.queue = nil
+	clear(s.stepScratch[:cap(s.stepScratch)])
+	s.stepScratch = s.stepScratch[:0]
+	clear(s.initStates[:cap(s.initStates)])
+	s.initStates = s.initStates[:0]
+	s.main, s.mainIDs = nil, nil
+	clear(s.qstates[:cap(s.qstates)])
+	clear(s.qids[:cap(s.qids)])
+	frames := s.frames[:cap(s.frames)]
+	for i := range frames {
+		frames[i].main, frames[i].mainIDs = nil, nil
+		saved := frames[i].saved[:cap(frames[i].saved)]
+		for k := range saved {
+			saved[k] = savedQuery{}
+		}
+	}
+}
+
+// resizeInts returns a length-n int slice, reusing s's backing array when it
+// is large enough. Contents are unspecified; callers overwrite every entry.
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// resizeBitset returns a zeroed bitset with capacity for n bits, reusing b's
+// backing array when it is large enough.
+func resizeBitset(b bitset, n int) bitset {
+	words := (n + 63) / 64
+	if cap(b) < words {
+		return newBitset(n)
+	}
+	b = b[:words]
+	clear(b)
+	return b
+}
+
+// resizeStateSets returns a length-n slice of nil state sets, reusing s's
+// backing array (scrubbed over its full capacity so no stale sets survive).
+func resizeStateSets(s [][]core.AbsState, n int) [][]core.AbsState {
+	if cap(s) < n {
+		return make([][]core.AbsState, n)
+	}
+	clear(s[:cap(s)])
+	return s[:n]
+}
+
+// resizeIDSets is resizeStateSets for the parallel interned-ID sets.
+func resizeIDSets(s [][]uint32, n int) [][]uint32 {
+	if cap(s) < n {
+		return make([][]uint32, n)
+	}
+	clear(s[:cap(s)])
+	return s[:n]
 }
 
 // reset unwinds the searcher back to the empty prefix by leaving every placed
@@ -455,12 +547,24 @@ func (s *searcher) putBuf(b setBuf) {
 }
 
 // stepAll applies label l to every state of the set and returns the deduped
-// successor set in a pooled buffer. While the specification is keyable,
-// deduplication is by interned ID with the IDs kept sorted (the canonical
-// order memo hashing relies on); otherwise it falls back to pairwise
-// EqualAbs.
+// successor set in a pooled buffer. Specs implementing core.StepAppender are
+// stepped through the allocation-free fast path into a reused scratch buffer;
+// foreign specs fall back to Step's fresh slice per transition. While the
+// specification is keyable, deduplication is by interned ID with the IDs kept
+// sorted (the canonical order memo hashing relies on); otherwise it falls
+// back to pairwise EqualAbs.
 func (s *searcher) stepAll(states []core.AbsState, l *core.Label) setBuf {
 	buf := s.getBuf()
+	if s.stepper != nil {
+		for _, phi := range states {
+			sc := s.stepper.StepAppend(s.stepScratch[:0], phi, l)
+			s.stepScratch = sc
+			for _, nxt := range sc {
+				s.insert(&buf, nxt)
+			}
+		}
+		return buf
+	}
 	for _, phi := range states {
 		for _, nxt := range s.spec.Step(phi, l) {
 			s.insert(&buf, nxt)

@@ -1,0 +1,116 @@
+package search
+
+import (
+	"sync"
+)
+
+// Session is the cross-check state of one batch of searches: the interner
+// assigning dense IDs to canonical state keys, an arena of lock-striped memo
+// tables, and a pool of per-worker searcher scratch (undo frames, state-set
+// buffers, candidate slices). A single check pays for all of these as warm-up;
+// a batch that threads one Session through every check
+// (core.CheckRAWith / CheckOptions.Session) pays once and then only resets.
+//
+// Sharing is safe because the pieces have different lifetimes:
+//
+//   - the interner is append-only and concurrency-safe, and interned IDs stay
+//     valid for the whole session — states recur across the histories of a
+//     batch, so later checks mostly hit the read lock;
+//   - memo tables are per-check (their keys mix per-history label indices, so
+//     reusing *contents* across histories would alias configurations of
+//     different histories); the arena recycles the tables themselves, cleared
+//     with their buckets kept, so a check allocates no shard maps after the
+//     arena warms up;
+//   - searchers are per-worker-per-check; the pool recycles their backing
+//     arrays and buffer pools, re-initialized for each history's label count.
+//
+// A Session may serve concurrent checks and checks of different
+// specifications. Interner IDs are only ever compared within one check, and a
+// check only reaches states of its own specification, so cross-spec key
+// collisions in the shared interner are harmless.
+type Session struct {
+	intern *interner
+
+	mu        sync.Mutex
+	memos     []*memoTable
+	searchers []*searcher
+}
+
+// NewSession creates an empty batch session. It implements
+// core.EngineSession; pass it to core.CheckRAWith (or set
+// CheckOptions.Session) on every check of a batch.
+func NewSession() *Session {
+	return &Session{intern: newInterner()}
+}
+
+// EngineSessionKind identifies the owning engine (core.EngineSession).
+func (s *Session) EngineSessionKind() string { return "pruned" }
+
+// InternedStates returns the number of distinct abstract states interned so
+// far — the state vocabulary the session's checks have shared instead of
+// rebuilding per history.
+func (s *Session) InternedStates() int {
+	if s == nil {
+		return 0
+	}
+	return s.intern.size()
+}
+
+// getMemo takes a cleared memo table from the arena (allocating only when the
+// arena is empty). Safe on a nil session, which always allocates.
+func (s *Session) getMemo() *memoTable {
+	if s == nil {
+		return newMemoTable()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := len(s.memos); n > 0 {
+		m := s.memos[n-1]
+		s.memos[n-1] = nil
+		s.memos = s.memos[:n-1]
+		return m
+	}
+	return newMemoTable()
+}
+
+// putMemo clears the table (keeping its shard maps' buckets) and returns it
+// to the arena. No-op on a nil session.
+func (s *Session) putMemo(m *memoTable) {
+	if s == nil || m == nil {
+		return
+	}
+	m.reset()
+	s.mu.Lock()
+	s.memos = append(s.memos, m)
+	s.mu.Unlock()
+}
+
+// getSearcher takes a recycled searcher from the pool, or returns nil (which
+// newSearcher treats as "allocate fresh") when the session is nil or empty.
+func (s *Session) getSearcher() *searcher {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := len(s.searchers); n > 0 {
+		w := s.searchers[n-1]
+		s.searchers[n-1] = nil
+		s.searchers = s.searchers[:n-1]
+		return w
+	}
+	return nil
+}
+
+// putSearcher unwinds the searcher, drops its references to the finished
+// check's history and specification, and pools its backing arrays for the
+// next check. No-op on a nil session.
+func (s *Session) putSearcher(w *searcher) {
+	if s == nil || w == nil {
+		return
+	}
+	w.release()
+	s.mu.Lock()
+	s.searchers = append(s.searchers, w)
+	s.mu.Unlock()
+}

@@ -1,0 +1,115 @@
+package search
+
+import (
+	"sync"
+	"testing"
+
+	"ralin/internal/core"
+	"ralin/internal/spec"
+)
+
+// sessOpts builds deterministic (sequential) check options carrying the
+// session.
+func sessOpts(sess *Session) core.CheckOptions {
+	return core.CheckOptions{Parallelism: 1, Session: sess}
+}
+
+// TestSessionReuseMatchesFresh re-checks the same histories through one
+// session and requires byte-identical outcomes to fresh-state runs: session
+// reuse is a pure performance change.
+func TestSessionReuseMatchesFresh(t *testing.T) {
+	sess := NewSession()
+	for _, ret := range []int64{6, 99} {
+		h := concurrentIncsHistory(6, ret)
+		fresh := Run(h, spec.Counter{}, false, sessOpts(nil))
+		for rep := 0; rep < 3; rep++ {
+			got := Run(h, spec.Counter{}, false, sessOpts(sess))
+			if got.OK != fresh.OK || got.Complete != fresh.Complete ||
+				got.Nodes != fresh.Nodes || got.Pruned != fresh.Pruned || got.MemoHits != fresh.MemoHits {
+				t.Fatalf("ret=%d rep=%d: session outcome %+v differs from fresh %+v", ret, rep, got, fresh)
+			}
+		}
+	}
+}
+
+// TestSessionMemoResetBetweenHistories guards the arena's soundness: a
+// refuted history followed by an identically-shaped linearizable one must
+// still find its witness. Both histories produce the same placed-set bitsets
+// and (mostly) the same interned counter states, so any memo entry surviving
+// the first check would wrongly prune the second.
+func TestSessionMemoResetBetweenHistories(t *testing.T) {
+	sess := NewSession()
+	bad := Run(concurrentIncsHistory(6, 99), spec.Counter{}, false, sessOpts(sess))
+	if bad.OK || !bad.Complete {
+		t.Fatalf("read⇒99 must be refuted: %+v", bad)
+	}
+	good := Run(concurrentIncsHistory(6, 6), spec.Counter{}, false, sessOpts(sess))
+	if !good.OK {
+		t.Fatalf("read⇒6 after 6 incs must linearize despite the prior refutation: %+v", good)
+	}
+}
+
+// TestSessionInternerIsShared checks the point of the session: state IDs
+// interned by one check are reused by the next, so re-checking the same
+// history grows the interner not at all.
+func TestSessionInternerIsShared(t *testing.T) {
+	sess := NewSession()
+	h := concurrentIncsHistory(6, 99)
+	Run(h, spec.Counter{}, false, sessOpts(sess))
+	after1 := sess.InternedStates()
+	if after1 == 0 {
+		t.Fatal("counter states must intern")
+	}
+	Run(h, spec.Counter{}, false, sessOpts(sess))
+	if after2 := sess.InternedStates(); after2 != after1 {
+		t.Fatalf("re-checking the same history must not grow the interner: %d -> %d", after1, after2)
+	}
+}
+
+// TestSessionConcurrentChecks runs many checks of different polarities (and a
+// parallel inner search) concurrently over one session; under `go test -race`
+// this is the data-race check for the session pools and the shared interner.
+func TestSessionConcurrentChecks(t *testing.T) {
+	sess := NewSession()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 5; rep++ {
+				ret := int64(5)
+				wantOK := true
+				if (g+rep)%2 == 1 {
+					ret, wantOK = 99, false
+				}
+				opts := sessOpts(sess)
+				if g%4 == 3 {
+					opts.Parallelism = 2
+				}
+				out := Run(concurrentIncsHistory(5, ret), spec.Counter{}, false, opts)
+				if out.OK != wantOK || !out.Complete {
+					t.Errorf("g=%d rep=%d: got %+v, want OK=%v", g, rep, out, wantOK)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestSessionThroughCheckRAWith exercises the full core → engine plumbing:
+// CheckRAWith must deliver the session to the pruned engine and behave like
+// CheckRA otherwise.
+func TestSessionThroughCheckRAWith(t *testing.T) {
+	sess := NewSession()
+	h := concurrentIncsHistory(5, 99)
+	opts := core.CheckOptions{Exhaustive: true, Engine: core.EnginePruned, Parallelism: 1}
+	plain := core.CheckRA(h, spec.Counter{}, opts)
+	with := core.CheckRAWith(h, spec.Counter{}, opts, sess)
+	if with.OK != plain.OK || with.Complete != plain.Complete || with.Nodes != plain.Nodes {
+		t.Fatalf("CheckRAWith %+v differs from CheckRA %+v", with, plain)
+	}
+	if sess.InternedStates() == 0 {
+		t.Fatal("the session must have been used (interner still empty)")
+	}
+}

@@ -25,46 +25,52 @@ func (AddAt1) Name() string { return "Spec(addAt1)" }
 func (AddAt1) Init() core.AbsState { return NewListState() }
 
 // Step applies one label.
-func (AddAt1) Step(phi core.AbsState, l *core.Label) []core.AbsState {
+func (a AddAt1) Step(phi core.AbsState, l *core.Label) []core.AbsState {
+	return a.StepAppend(nil, phi, l)
+}
+
+// StepAppend appends the successors of phi under l to dst (the
+// core.StepAppender fast path).
+func (AddAt1) StepAppend(dst []core.AbsState, phi core.AbsState, l *core.Label) []core.AbsState {
 	s, ok := phi.(ListState)
 	if !ok {
-		return nil
+		return dst
 	}
 	switch l.Method {
 	case "addAt":
 		elem, k, ok := addAtArgs(l)
 		if !ok || s.Contains(elem) {
-			return nil
+			return dst
 		}
 		n := s.CloneAbs().(ListState)
 		if k > len(n.Elems) {
 			k = len(n.Elems)
 		}
 		n.Elems = insertAt(n.Elems, k, elem)
-		return []core.AbsState{n}
+		return append(dst, n)
 	case "remove":
 		if len(l.Args) != 1 {
-			return nil
+			return dst
 		}
 		elem, ok := l.Args[0].(string)
 		if !ok {
-			return nil
+			return dst
 		}
 		i := s.IndexOf(elem)
 		if i < 0 {
-			return nil
+			return dst
 		}
 		n := s.CloneAbs().(ListState)
 		n.Elems = append(append([]string{}, n.Elems[:i]...), n.Elems[i+1:]...)
-		return []core.AbsState{n}
+		return append(dst, n)
 	case "read":
 		ret, ok := l.Ret.([]string)
 		if ok && core.ValueEqual(ret, s.Visible()) {
-			return []core.AbsState{s}
+			return append(dst, s)
 		}
-		return nil
+		return dst
 	default:
-		return nil
+		return dst
 	}
 }
 
@@ -80,19 +86,24 @@ func (AddAt2) Name() string { return "Spec(addAt2)" }
 func (AddAt2) Init() core.AbsState { return NewListState() }
 
 // Step applies one label.
-func (AddAt2) Step(phi core.AbsState, l *core.Label) []core.AbsState {
+func (a AddAt2) Step(phi core.AbsState, l *core.Label) []core.AbsState {
+	return a.StepAppend(nil, phi, l)
+}
+
+// StepAppend appends the successors of phi under l to dst (the
+// core.StepAppender fast path).
+func (AddAt2) StepAppend(dst []core.AbsState, phi core.AbsState, l *core.Label) []core.AbsState {
 	s, ok := phi.(ListState)
 	if !ok {
-		return nil
+		return dst
 	}
 	switch l.Method {
 	case "addAt":
 		elem, k, ok := addAtArgs(l)
 		if !ok || s.Contains(elem) {
-			return nil
+			return dst
 		}
 		visible := len(s.Visible())
-		var succs []core.AbsState
 		if k <= visible {
 			// Every split l1·l2 with |l1/T| = k yields a successor.
 			for i := 0; i <= len(s.Elems); i++ {
@@ -101,33 +112,33 @@ func (AddAt2) Step(phi core.AbsState, l *core.Label) []core.AbsState {
 				}
 				n := s.CloneAbs().(ListState)
 				n.Elems = insertAt(n.Elems, i, elem)
-				succs = append(succs, n)
+				dst = append(dst, n)
 			}
-			return succs
+			return dst
 		}
 		// |l/T| < k: the value goes at the end.
 		n := s.CloneAbs().(ListState)
 		n.Elems = append(append([]string{}, n.Elems...), elem)
-		return []core.AbsState{n}
+		return append(dst, n)
 	case "remove":
 		if len(l.Args) != 1 {
-			return nil
+			return dst
 		}
 		elem, ok := l.Args[0].(string)
 		if !ok || !s.Contains(elem) {
-			return nil
+			return dst
 		}
 		n := s.CloneAbs().(ListState)
 		n.Tomb[elem] = true
-		return []core.AbsState{n}
+		return append(dst, n)
 	case "read":
 		ret, ok := l.Ret.([]string)
 		if ok && core.ValueEqual(ret, s.Visible()) {
-			return []core.AbsState{s}
+			return append(dst, s)
 		}
-		return nil
+		return dst
 	default:
-		return nil
+		return dst
 	}
 }
 
@@ -145,40 +156,46 @@ func (AddAt3) Name() string { return "Spec(addAt3)" }
 func (AddAt3) Init() core.AbsState { return NewListState(Root) }
 
 // Step applies one label.
-func (AddAt3) Step(phi core.AbsState, l *core.Label) []core.AbsState {
+func (a AddAt3) Step(phi core.AbsState, l *core.Label) []core.AbsState {
+	return a.StepAppend(nil, phi, l)
+}
+
+// StepAppend appends the successors of phi under l to dst (the
+// core.StepAppender fast path).
+func (AddAt3) StepAppend(dst []core.AbsState, phi core.AbsState, l *core.Label) []core.AbsState {
 	s, ok := phi.(ListState)
 	if !ok {
-		return nil
+		return dst
 	}
 	switch l.Method {
 	case "addAt":
 		elem, k, ok := addAtArgs(l)
 		if !ok || s.Contains(elem) {
-			return nil
+			return dst
 		}
 		ret, ok := l.Ret.([]string)
 		if !ok {
-			return nil
+			return dst
 		}
 		// The return value is the inserting replica's local view after the
 		// insertion: the fresh element at index min(k, len(view)-1 before
 		// insertion), with the rest a subsequence of l.
 		pos := indexOf(ret, elem)
 		if pos < 0 {
-			return nil
+			return dst
 		}
 		view := append(append([]string{}, ret[:pos]...), ret[pos+1:]...)
 		// The element must sit at index k, unless the view was shorter than k
 		// in which case it sits at the end.
 		if pos != k && pos != len(view) {
-			return nil
+			return dst
 		}
 		if pos > k {
-			return nil
+			return dst
 		}
 		// The local view must be a subsequence of the global list.
 		if !isSubsequence(view, s.Elems) {
-			return nil
+			return dst
 		}
 		// b is the element the fresh value is inserted after: the one just
 		// before it in the returned view, or the root when it is first.
@@ -188,40 +205,40 @@ func (AddAt3) Step(phi core.AbsState, l *core.Label) []core.AbsState {
 		}
 		i := s.IndexOf(after)
 		if i < 0 {
-			return nil
+			return dst
 		}
 		n := s.CloneAbs().(ListState)
 		n.Elems = insertAfter(n.Elems, i, elem)
-		return []core.AbsState{n}
+		return append(dst, n)
 	case "remove":
 		if len(l.Args) != 1 {
-			return nil
+			return dst
 		}
 		elem, ok := l.Args[0].(string)
 		if !ok || elem == Root || !s.Contains(elem) {
-			return nil
+			return dst
 		}
 		ret, ok := l.Ret.([]string)
 		if !ok {
-			return nil
+			return dst
 		}
 		if indexOf(ret, elem) >= 0 {
-			return nil
+			return dst
 		}
 		if !isSubsequence(ret, s.Elems) {
-			return nil
+			return dst
 		}
 		n := s.CloneAbs().(ListState)
 		n.Tomb[elem] = true
-		return []core.AbsState{n}
+		return append(dst, n)
 	case "read":
 		ret, ok := l.Ret.([]string)
 		if ok && core.ValueEqual(ret, s.Visible()) {
-			return []core.AbsState{s}
+			return append(dst, s)
 		}
-		return nil
+		return dst
 	default:
-		return nil
+		return dst
 	}
 }
 

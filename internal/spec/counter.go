@@ -44,23 +44,30 @@ func (Counter) Name() string { return "Spec(Counter)" }
 func (Counter) Init() core.AbsState { return CounterState(0) }
 
 // Step applies one label.
-func (Counter) Step(phi core.AbsState, l *core.Label) []core.AbsState {
+func (c Counter) Step(phi core.AbsState, l *core.Label) []core.AbsState {
+	return c.StepAppend(nil, phi, l)
+}
+
+// StepAppend appends the successors of phi under l to dst (the
+// core.StepAppender fast path; dst is returned unchanged when the label is
+// not admitted).
+func (Counter) StepAppend(dst []core.AbsState, phi core.AbsState, l *core.Label) []core.AbsState {
 	s, ok := phi.(CounterState)
 	if !ok {
-		return nil
+		return dst
 	}
 	switch l.Method {
 	case "inc":
-		return []core.AbsState{s + 1}
+		return append(dst, s+1)
 	case "dec":
-		return []core.AbsState{s - 1}
+		return append(dst, s-1)
 	case "read":
 		ret, ok := l.Ret.(int64)
 		if ok && ret == int64(s) {
-			return []core.AbsState{s}
+			return append(dst, s)
 		}
-		return nil
+		return dst
 	default:
-		return nil
+		return dst
 	}
 }

@@ -149,47 +149,53 @@ func (RGA) Name() string { return "Spec(RGA)" }
 func (RGA) Init() core.AbsState { return NewListState(Root) }
 
 // Step applies one label.
-func (RGA) Step(phi core.AbsState, l *core.Label) []core.AbsState {
+func (r RGA) Step(phi core.AbsState, l *core.Label) []core.AbsState {
+	return r.StepAppend(nil, phi, l)
+}
+
+// StepAppend appends the successors of phi under l to dst (the
+// core.StepAppender fast path).
+func (RGA) StepAppend(dst []core.AbsState, phi core.AbsState, l *core.Label) []core.AbsState {
 	s, ok := phi.(ListState)
 	if !ok {
-		return nil
+		return dst
 	}
 	switch l.Method {
 	case "addAfter":
 		if len(l.Args) != 2 {
-			return nil
+			return dst
 		}
 		after, okA := l.Args[0].(string)
 		elem, okB := l.Args[1].(string)
 		if !okA || !okB {
-			return nil
+			return dst
 		}
 		i := s.IndexOf(after)
 		if i < 0 || s.Contains(elem) {
-			return nil
+			return dst
 		}
 		n := s.CloneAbs().(ListState)
 		n.Elems = insertAfter(n.Elems, i, elem)
-		return []core.AbsState{n}
+		return append(dst, n)
 	case "remove":
 		if len(l.Args) != 1 {
-			return nil
+			return dst
 		}
 		elem, ok := l.Args[0].(string)
 		if !ok || elem == Root || !s.Contains(elem) {
-			return nil
+			return dst
 		}
 		n := s.CloneAbs().(ListState)
 		n.Tomb[elem] = true
-		return []core.AbsState{n}
+		return append(dst, n)
 	case "read":
 		ret, ok := l.Ret.([]string)
 		if ok && core.ValueEqual(ret, s.Visible()) {
-			return []core.AbsState{s}
+			return append(dst, s)
 		}
-		return nil
+		return dst
 	default:
-		return nil
+		return dst
 	}
 }
 
@@ -207,55 +213,60 @@ func (Wooki) Name() string { return "Spec(Wooki)" }
 func (Wooki) Init() core.AbsState { return NewListState(Begin, End) }
 
 // Step applies one label.
-func (Wooki) Step(phi core.AbsState, l *core.Label) []core.AbsState {
+func (w Wooki) Step(phi core.AbsState, l *core.Label) []core.AbsState {
+	return w.StepAppend(nil, phi, l)
+}
+
+// StepAppend appends the successors of phi under l to dst (the
+// core.StepAppender fast path).
+func (Wooki) StepAppend(dst []core.AbsState, phi core.AbsState, l *core.Label) []core.AbsState {
 	s, ok := phi.(ListState)
 	if !ok {
-		return nil
+		return dst
 	}
 	switch l.Method {
 	case "addBetween":
 		if len(l.Args) != 3 {
-			return nil
+			return dst
 		}
 		a, okA := l.Args[0].(string)
 		b, okB := l.Args[1].(string)
 		c, okC := l.Args[2].(string)
 		if !okA || !okB || !okC {
-			return nil
+			return dst
 		}
 		if a == End || c == Begin || b == Begin || b == End || s.Contains(b) {
-			return nil
+			return dst
 		}
 		ia, ic := s.IndexOf(a), s.IndexOf(c)
 		if ia < 0 || ic < 0 || ia >= ic {
-			return nil
+			return dst
 		}
 		// One successor per insertion point strictly between a and c.
-		var succs []core.AbsState
 		for i := ia; i < ic; i++ {
 			n := s.CloneAbs().(ListState)
 			n.Elems = insertAfter(n.Elems, i, b)
-			succs = append(succs, n)
+			dst = append(dst, n)
 		}
-		return succs
+		return dst
 	case "remove":
 		if len(l.Args) != 1 {
-			return nil
+			return dst
 		}
 		elem, ok := l.Args[0].(string)
 		if !ok || elem == Begin || elem == End || !s.Contains(elem) {
-			return nil
+			return dst
 		}
 		n := s.CloneAbs().(ListState)
 		n.Tomb[elem] = true
-		return []core.AbsState{n}
+		return append(dst, n)
 	case "read":
 		ret, ok := l.Ret.([]string)
 		if ok && core.ValueEqual(ret, s.Visible()) {
-			return []core.AbsState{s}
+			return append(dst, s)
 		}
-		return nil
+		return dst
 	default:
-		return nil
+		return dst
 	}
 }

@@ -40,29 +40,35 @@ func (Register) Name() string { return "Spec(Reg)" }
 func (Register) Init() core.AbsState { return RegisterState("") }
 
 // Step applies one label.
-func (Register) Step(phi core.AbsState, l *core.Label) []core.AbsState {
+func (r Register) Step(phi core.AbsState, l *core.Label) []core.AbsState {
+	return r.StepAppend(nil, phi, l)
+}
+
+// StepAppend appends the successors of phi under l to dst (the
+// core.StepAppender fast path).
+func (Register) StepAppend(dst []core.AbsState, phi core.AbsState, l *core.Label) []core.AbsState {
 	s, ok := phi.(RegisterState)
 	if !ok {
-		return nil
+		return dst
 	}
 	switch l.Method {
 	case "write":
 		if len(l.Args) != 1 {
-			return nil
+			return dst
 		}
 		v, ok := l.Args[0].(string)
 		if !ok {
-			return nil
+			return dst
 		}
-		return []core.AbsState{RegisterState(v)}
+		return append(dst, RegisterState(v))
 	case "read":
 		ret, ok := l.Ret.(string)
 		if ok && ret == string(s) {
-			return []core.AbsState{s}
+			return append(dst, s)
 		}
-		return nil
+		return dst
 	default:
-		return nil
+		return dst
 	}
 }
 
@@ -147,26 +153,32 @@ func (MVRegister) Init() core.AbsState { return MVRegState{} }
 // Step applies one label. Writes are labels "write" with arguments
 // (element, version vector); the runtime's query-update rewriting produces
 // them from plain write(a) operations.
-func (MVRegister) Step(phi core.AbsState, l *core.Label) []core.AbsState {
+func (m MVRegister) Step(phi core.AbsState, l *core.Label) []core.AbsState {
+	return m.StepAppend(nil, phi, l)
+}
+
+// StepAppend appends the successors of phi under l to dst (the
+// core.StepAppender fast path).
+func (MVRegister) StepAppend(dst []core.AbsState, phi core.AbsState, l *core.Label) []core.AbsState {
 	s, ok := phi.(MVRegState)
 	if !ok {
-		return nil
+		return dst
 	}
 	switch l.Method {
 	case "write":
 		if len(l.Args) != 2 {
-			return nil
+			return dst
 		}
 		elem, okE := l.Args[0].(string)
 		vv, okV := l.Args[1].(clock.VersionVector)
 		if !okE || !okV {
-			return nil
+			return dst
 		}
 		// Precondition: the identifier is not less than or equal to any
 		// identifier already present.
 		for _, p := range s {
 			if vv.Leq(p.VV) {
-				return nil
+				return dst
 			}
 		}
 		next := MVRegState{}
@@ -177,14 +189,14 @@ func (MVRegister) Step(phi core.AbsState, l *core.Label) []core.AbsState {
 			next = append(next, MVPair{Elem: p.Elem, VV: p.VV.Copy()})
 		}
 		next = append(next, MVPair{Elem: elem, VV: vv.Copy()})
-		return []core.AbsState{next}
+		return append(dst, next)
 	case "read":
 		ret, ok := l.Ret.([]string)
 		if ok && core.ValueEqual(ret, s.Values()) {
-			return []core.AbsState{s}
+			return append(dst, s)
 		}
-		return nil
+		return dst
 	default:
-		return nil
+		return dst
 	}
 }

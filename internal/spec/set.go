@@ -74,42 +74,48 @@ func (Set) Name() string { return "Spec(Set)" }
 func (Set) Init() core.AbsState { return SetState{} }
 
 // Step applies one label.
-func (Set) Step(phi core.AbsState, l *core.Label) []core.AbsState {
+func (t Set) Step(phi core.AbsState, l *core.Label) []core.AbsState {
+	return t.StepAppend(nil, phi, l)
+}
+
+// StepAppend appends the successors of phi under l to dst (the
+// core.StepAppender fast path).
+func (Set) StepAppend(dst []core.AbsState, phi core.AbsState, l *core.Label) []core.AbsState {
 	s, ok := phi.(SetState)
 	if !ok {
-		return nil
+		return dst
 	}
 	switch l.Method {
 	case "add":
 		if len(l.Args) != 1 {
-			return nil
+			return dst
 		}
 		v, ok := l.Args[0].(string)
 		if !ok {
-			return nil
+			return dst
 		}
 		n := s.CloneAbs().(SetState)
 		n[v] = true
-		return []core.AbsState{n}
+		return append(dst, n)
 	case "remove":
 		if len(l.Args) != 1 {
-			return nil
+			return dst
 		}
 		v, ok := l.Args[0].(string)
 		if !ok {
-			return nil
+			return dst
 		}
 		n := s.CloneAbs().(SetState)
 		delete(n, v)
-		return []core.AbsState{n}
+		return append(dst, n)
 	case "read":
 		ret, ok := l.Ret.([]string)
 		if ok && core.ValueEqual(ret, s.Values()) {
-			return []core.AbsState{s}
+			return append(dst, s)
 		}
-		return nil
+		return dst
 	default:
-		return nil
+		return dst
 	}
 }
 
@@ -190,48 +196,54 @@ func (ORSet) Name() string { return "Spec(OR-Set)" }
 func (ORSet) Init() core.AbsState { return ORSetState{} }
 
 // Step applies one label.
-func (ORSet) Step(phi core.AbsState, l *core.Label) []core.AbsState {
+func (o ORSet) Step(phi core.AbsState, l *core.Label) []core.AbsState {
+	return o.StepAppend(nil, phi, l)
+}
+
+// StepAppend appends the successors of phi under l to dst (the
+// core.StepAppender fast path).
+func (ORSet) StepAppend(dst []core.AbsState, phi core.AbsState, l *core.Label) []core.AbsState {
 	s, ok := phi.(ORSetState)
 	if !ok {
-		return nil
+		return dst
 	}
 	switch l.Method {
 	case "add":
 		if len(l.Args) != 2 {
-			return nil
+			return dst
 		}
 		elem, okE := l.Args[0].(string)
 		id, okI := l.Args[1].(uint64)
 		if !okE || !okI {
-			return nil
+			return dst
 		}
 		p := core.Pair{Elem: elem, ID: id}
 		if s[p] {
-			return nil // identifiers are unique; re-adding is not admitted
+			return dst // identifiers are unique; re-adding is not admitted
 		}
 		n := s.CloneAbs().(ORSetState)
 		n[p] = true
-		return []core.AbsState{n}
+		return append(dst, n)
 	case "removeIds":
 		if len(l.Args) != 1 {
-			return nil
+			return dst
 		}
 		pairs, ok := l.Args[0].([]core.Pair)
 		if !ok {
-			return nil
+			return dst
 		}
 		n := s.CloneAbs().(ORSetState)
 		for _, p := range pairs {
 			delete(n, p)
 		}
-		return []core.AbsState{n}
+		return append(dst, n)
 	case "readIds":
 		if len(l.Args) != 1 {
-			return nil
+			return dst
 		}
 		elem, ok := l.Args[0].(string)
 		if !ok {
-			return nil
+			return dst
 		}
 		var want []core.Pair
 		for p := range s {
@@ -244,16 +256,16 @@ func (ORSet) Step(phi core.AbsState, l *core.Label) []core.AbsState {
 			want = []core.Pair{}
 		}
 		if core.ValueEqual(l.Ret, want) {
-			return []core.AbsState{s}
+			return append(dst, s)
 		}
-		return nil
+		return dst
 	case "read":
 		ret, ok := l.Ret.([]string)
 		if ok && core.ValueEqual(ret, s.Values()) {
-			return []core.AbsState{s}
+			return append(dst, s)
 		}
-		return nil
+		return dst
 	default:
-		return nil
+		return dst
 	}
 }
