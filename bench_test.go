@@ -15,6 +15,7 @@ import (
 	"ralin/internal/crdt"
 	"ralin/internal/crdt/registry"
 	"ralin/internal/harness"
+	"ralin/internal/search"
 	"ralin/internal/spec"
 	"ralin/internal/verify"
 )
@@ -295,6 +296,49 @@ func BenchmarkBatchRefutations(b *testing.B) {
 			b.ReportMetric(float64(len(hs))*float64(b.N)/b.Elapsed().Seconds(), "histories/sec")
 		})
 	}
+}
+
+// BenchmarkSessionRecheck isolates the per-check setup cost the session
+// history-plan cache amortizes: one OR-Set history (real query-update
+// rewriting, so every check pays a full history clone without the cache)
+// re-checked exhaustively, fresh engine state per check versus one session
+// whose rewrite cache serves the γ-rewriting and whose plan pool serves the
+// prepare() index arrays after the first check. Sequential search, so the
+// variants differ only in setup amortization. See BENCHMARKS.md for committed
+// numbers; `make bench-gate` diffs both variants against the baseline.
+func BenchmarkSessionRecheck(b *testing.B) {
+	d, err := registry.Lookup("OR-Set")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := harness.WorkloadConfig{
+		Seed: 7, Ops: 8, Replicas: 3,
+		Elems: []string{"a", "b", "c"}, DeliveryProb: 40,
+	}
+	h, err := harness.RunRandom(d, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := d.CheckOptions()
+	opts.Strategies = nil
+	opts.Parallelism = 1
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if res := core.CheckRA(h, d.Spec, opts); !res.OK {
+				b.Fatalf("history must be RA-linearizable: %v", res.LastErr)
+			}
+		}
+	})
+	b.Run("session", func(b *testing.B) {
+		sess := search.NewSession()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if res := core.CheckRAWith(h, d.Spec, opts, sess); !res.OK {
+				b.Fatalf("history must be RA-linearizable: %v", res.LastErr)
+			}
+		}
+	})
 }
 
 // nonLinearizableHistory builds the adversarial history of the engine

@@ -71,10 +71,10 @@ func main() {
 	// them against a baseline recorded elsewhere would fail on hardware,
 	// not code.
 	match := flag.String("match",
-		"^Benchmark(EngineNonLinearizable/(legacy|pruned-seq)|BatchRefutations/(fresh|shared)/w1|BatchCheckRandomHistories/(fresh|shared)/w1)\\b",
+		"^Benchmark(EngineNonLinearizable/(legacy|pruned-seq)|BatchRefutations/(fresh|shared)/w1|BatchCheckRandomHistories/(fresh|shared)/w1|SessionRecheck/(fresh|session))\\b",
 		"regexp selecting the gated benchmarks")
 	maxNS := flag.Float64("max-ns-regression", 25, "maximum tolerated ns/op regression in percent (same-CPU runs); <= 0 makes ns/op advisory")
-	maxAllocs := flag.Float64("max-allocs-regression", 0, "maximum tolerated allocs/op regression in percent")
+	maxAllocs := flag.Float64("max-allocs-regression", 0, "maximum tolerated allocs/op regression in percent; < 0 makes allocs/op advisory (for ns-only gates against a runner-cached baseline)")
 	forceNS := flag.Bool("force-ns", false, "gate ns/op even when baseline and candidate ran on different CPUs")
 	flag.Parse()
 
@@ -124,12 +124,16 @@ func key(name string) string { return stripCPUSuffix.ReplaceAllString(name, "") 
 func diff(w io.Writer, baseline, candidate *Document, re *regexp.Regexp, maxNS, maxAllocs float64, forceNS bool) int {
 	sameCPU := baseline.Context["cpu"] != "" && baseline.Context["cpu"] == candidate.Context["cpu"]
 	gateNS := (sameCPU || forceNS) && maxNS > 0
+	gateAllocs := maxAllocs >= 0
 	switch {
 	case maxNS <= 0:
 		fmt.Fprintln(w, "note: ns/op gating disabled (-max-ns-regression <= 0) — allocs/op gates")
 	case !gateNS:
 		fmt.Fprintf(w, "note: baseline CPU %q != candidate CPU %q — ns/op is advisory, allocs/op gates\n",
 			baseline.Context["cpu"], candidate.Context["cpu"])
+	}
+	if !gateAllocs {
+		fmt.Fprintln(w, "note: allocs/op gating disabled (-max-allocs-regression < 0) — ns/op gates")
 	}
 
 	base := map[string]Result{}
@@ -156,6 +160,10 @@ func diff(w io.Writer, baseline, candidate *Document, re *regexp.Regexp, maxNS, 
 		ba, baOK := b.Metrics["allocs/op"]
 		ca, caOK := c.Metrics["allocs/op"]
 		switch {
+		case !gateAllocs:
+			if baOK && caOK {
+				notes = append(notes, fmt.Sprintf("allocs/op %.0f -> %.0f (advisory)", ba, ca))
+			}
 		case baOK && !caOK:
 			// A candidate without the metric the baseline gates on (e.g.
 			// -benchmem dropped from the bench invocation) must not slip

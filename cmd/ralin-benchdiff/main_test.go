@@ -122,6 +122,22 @@ func TestDiffFailsOnMissingAllocsMetric(t *testing.T) {
 	}
 }
 
+func TestDiffAllocsAdvisory(t *testing.T) {
+	// The ns-only gate against a runner-cached baseline: allocs drift must
+	// not fail, ns/op still gates on the same CPU string.
+	b := doc("cpuA", bench("BenchmarkEngineNonLinearizable/pruned-4", 1000, 300))
+	allocDrift := doc("cpuA", bench("BenchmarkEngineNonLinearizable/pruned-4", 1000, 900))
+	var out strings.Builder
+	if n := diff(&out, b, allocDrift, gate, 25, -1, false); n != 0 || !strings.Contains(out.String(), "allocs/op gating disabled") {
+		t.Fatalf("-max-allocs-regression -1 must make allocs advisory (got %d):\n%s", n, out.String())
+	}
+	nsRegressed := doc("cpuA", bench("BenchmarkEngineNonLinearizable/pruned-4", 2000, 300))
+	out.Reset()
+	if n := diff(&out, b, nsRegressed, gate, 25, -1, false); n != 1 || !strings.Contains(out.String(), "ns/op regressed") {
+		t.Fatalf("ns/op must still gate when allocs are advisory (got %d):\n%s", n, out.String())
+	}
+}
+
 func TestKeyStripsGOMAXPROCSSuffix(t *testing.T) {
 	if key("BenchmarkX/sub-8") != "BenchmarkX/sub" || key("BenchmarkX") != "BenchmarkX" {
 		t.Fatal("suffix stripping wrong")

@@ -119,6 +119,8 @@ func run(engine string, parallel, batchWorkers int, name string, histories, ops,
 		fmt.Printf("  scheduler:           %d stolen branches, memo striped over %d shards\n", res.Steals, res.Shards)
 	}
 	fmt.Printf("  batch:               %d workers, %d interned states shared across histories\n", res.BatchWorkers, res.InternedStates)
+	fmt.Printf("  plan cache:          %d pooled plans reused, %d cached rewrites, inner parallelism <= %d\n",
+		res.PlanReuses, res.RewriteHits, res.MaxInnerParallelism)
 	if !res.OK() {
 		fmt.Printf("  FIRST FAILURE: %s\n", res.FailureExample)
 		return 1

@@ -66,6 +66,12 @@ func main() {
 	fmt.Println("Figure 12 — CRDTs proved RA-linearizable and the class of linearizations used")
 	fmt.Println()
 	fmt.Print(harness.RenderFig12(rows))
+	var planReuses, rewriteHits int
+	for _, r := range rows {
+		planReuses += r.Histories.PlanReuses
+		rewriteHits += r.Histories.RewriteHits
+	}
+	fmt.Printf("\nplan cache across all rows: %d pooled plans reused, %d cached rewrites\n", planReuses, rewriteHits)
 	if *details {
 		fmt.Println()
 		fmt.Print(harness.RenderFig12Details(rows))

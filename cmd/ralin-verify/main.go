@@ -103,8 +103,8 @@ func main() {
 			fmt.Printf("  %-28s %6d checked  ", "RA-Linearizable(random)", hc.Histories)
 			if hc.OK() {
 				if hc.Nodes > 0 {
-					fmt.Printf("ok (%d candidates, %d nodes, %d steals, engine %s)\n",
-						hc.Tried, hc.Nodes, hc.Steals, core.ResolveEngine(eng))
+					fmt.Printf("ok (%d candidates, %d nodes, %d steals, %d plan reuses, %d cached rewrites, engine %s)\n",
+						hc.Tried, hc.Nodes, hc.Steals, hc.PlanReuses, hc.RewriteHits, core.ResolveEngine(eng))
 				} else {
 					fmt.Printf("ok (%d candidates, engine %s)\n", hc.Tried, core.ResolveEngine(eng))
 				}

@@ -470,20 +470,31 @@ func (s *Spec) StepAppend(dst []core.AbsState, phi core.AbsState, l *core.Label)
 	return dst
 }
 
-// Rewriting is the composed query-update rewriting: each label is rewritten by
-// its own object's rewriting.
-func RewritingOf(sys *System) core.Rewriting {
-	rewritings := map[string]core.Rewriting{}
-	for _, name := range sys.Objects() {
-		rewritings[name] = sys.objects[name].desc.Rewriting
+// composedRewriting rewrites each label by its own object's rewriting. It is
+// a comparable value carrying the system it was built for — *not* a closure —
+// so an engine session's rewrite cache can key on it without aliasing the
+// rewritings of two different composed systems (same function body, different
+// per-system object tables).
+type composedRewriting struct {
+	sys *System
+}
+
+// Rewrite implements core.Rewriting.
+func (r composedRewriting) Rewrite(l *core.Label) ([]*core.Label, error) {
+	var rw core.Rewriting
+	if obj, ok := r.sys.objects[l.Object]; ok {
+		rw = obj.desc.Rewriting
 	}
-	return core.RewriteFunc(func(l *core.Label) ([]*core.Label, error) {
-		rw := rewritings[l.Object]
-		if rw == nil {
-			rw = core.IdentityRewriting{}
-		}
-		return rw.Rewrite(l)
-	})
+	if rw == nil {
+		rw = core.IdentityRewriting{}
+	}
+	return rw.Rewrite(l)
+}
+
+// RewritingOf is the composed query-update rewriting: each label is rewritten
+// by its own object's rewriting.
+func RewritingOf(sys *System) core.Rewriting {
+	return composedRewriting{sys: sys}
 }
 
 // CheckOptions returns checker options for a composed system: the composed

@@ -118,6 +118,13 @@ type CheckOptions struct {
 	// DisableMemo turns off the pruned engine's memoization of visited
 	// (frontier-set, spec-state) pairs.
 	DisableMemo bool
+	// DebugMemo makes the pruned engine store the full interned-ID tuple of
+	// every memoized configuration alongside its 128-bit hash and panic if
+	// two distinct tuples ever share a hash — turning the ~2⁻⁶⁴ hash-
+	// compaction collision risk into a checked invariant. Costs one tuple
+	// allocation per memoized node; meant for differential and soak runs,
+	// not production checking.
+	DebugMemo bool
 	// Session optionally carries engine state shared across the checks of a
 	// batch (interner, memo arena, pooled buffers). Nil means fresh state per
 	// check. See CheckRAWith.
@@ -177,6 +184,14 @@ type Result struct {
 	Shards int
 	// Workers is the number of goroutines the pruned engine used.
 	Workers int
+	// PlanReused reports that the pruned engine drew this check's prepared
+	// history plan (the preds/succs/affected/order index arrays) from the
+	// session's plan pool instead of allocating it.
+	PlanReused bool
+	// RewriteCached reports that the γ-rewriting was served from the
+	// session's rewrite cache instead of being re-derived (Rewritten then
+	// aliases the cached clone).
+	RewriteCached bool
 }
 
 // EngineOutcome is what a registered search engine reports back to CheckRA
@@ -207,6 +222,9 @@ type EngineOutcome struct {
 	Shards int
 	// Workers is the number of goroutines used.
 	Workers int
+	// PlanReused reports that the prepared history plan came from the
+	// session's plan pool.
+	PlanReused bool
 }
 
 // PrunedEngineFunc is the entry point of a pruned search engine. The history
@@ -283,13 +301,14 @@ func IsRALinearization(h *History, seq []*Label, spec Spec) error {
 // extensions of the visibility relation.
 func CheckRA(h *History, spec Spec, opts CheckOptions) Result {
 	res := Result{}
-	rew, err := RewriteHistory(h, opts.Rewriting)
+	rew, cached, err := rewriteForCheck(h, opts)
 	if err != nil {
 		res.LastErr = err
 		res.Complete = true
 		return res
 	}
 	res.Rewritten = rew.History
+	res.RewriteCached = cached
 	if !rew.History.IsAcyclic() {
 		res.LastErr = fmt.Errorf("%w: visibility relation is cyclic", ErrNotRALinearizable)
 		res.Complete = true
@@ -382,6 +401,7 @@ func applyEngineOutcome(res *Result, out EngineOutcome) {
 	res.Steals = out.Steals
 	res.Shards = out.Shards
 	res.Workers = out.Workers
+	res.PlanReused = out.PlanReused
 	if out.LastErr != nil {
 		res.LastErr = out.LastErr
 	}

@@ -65,6 +65,29 @@ func (h *History) Labels() []*Label {
 	return out
 }
 
+// AppendLabels appends the labels in insertion order to dst and returns the
+// extended slice. It is Labels for callers that recycle the destination
+// buffer across histories (the search engine's pooled prepare plans).
+func (h *History) AppendLabels(dst []*Label) []*Label {
+	for _, id := range h.order {
+		dst = append(dst, h.labels[id])
+	}
+	return dst
+}
+
+// VisEdges calls fn once for every edge (from, to) of the (transitively
+// closed) visibility relation. The edge order is unspecified — the relation
+// is stored as adjacency maps — so callers that need determinism must sort.
+// Iterating the edge set directly is O(|vis|), where the equivalent all-pairs
+// scan over Vis is O(|L|²) regardless of how sparse the relation is.
+func (h *History) VisEdges(fn func(from, to uint64)) {
+	for _, from := range h.order {
+		for to := range h.vis[from] {
+			fn(from, to)
+		}
+	}
+}
+
 // AddVis records that the label with identifier from is visible to the label
 // with identifier to, and maintains transitive closure. Adding an edge that
 // would create a cycle is an error.

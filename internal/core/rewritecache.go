@@ -1,0 +1,156 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+)
+
+// rewriteCacheCap bounds the number of histories a RewriteCache pins. Batch
+// pipelines insert every history they check; without a cap a long batch would
+// keep all of them (plus their rewritten clones) live for the whole session,
+// where the uncached pipeline lets each trial's history become garbage as soon
+// as its fold is done. Re-check workloads — the cache's target — cycle a small
+// working set, so generation-style eviction (drop everything, start over) is
+// both simple and sufficient.
+const rewriteCacheCap = 256
+
+// RewriteCache memoizes γ-rewritings per input history: a history checked
+// several times through one engine session (differential runs, repeated
+// figure reproductions, re-checked batches) clones and re-derives its
+// rewritten form once instead of once per check. Entries are keyed by history
+// *identity* (the pointer), matching the aliasing fast path's contract that a
+// History is immutable while checks reference it; the cached RewrittenHistory
+// is shared by every subsequent Result.Rewritten the same way the aliased
+// input history already is.
+//
+// A cached entry is only returned for the same rewriting it was built with
+// (see rewritingToken). The zero value is ready to use; all methods are safe
+// for concurrent callers.
+type RewriteCache struct {
+	mu      sync.Mutex
+	entries map[*History]rewriteEntry
+	hits    int64
+	misses  int64
+}
+
+type rewriteEntry struct {
+	token any
+	rew   *RewrittenHistory
+}
+
+// rewritingToken derives a comparable identity for a rewriting, so the cache
+// can tell "same γ again" from "different γ for the same history". Only
+// rewritings of comparable types get one: their value is the identity (the
+// descriptor rewritings are zero-size named types, composed rewritings carry
+// their *System). Function-typed rewritings (RewriteFunc) have no usable
+// identity — a code pointer would alias closures over the same body whose
+// captured state differs, which is exactly how composed-system rewritings
+// used to be built — so they report ok=false and bypass the cache entirely.
+func rewritingToken(g Rewriting) (any, bool) {
+	if g == nil {
+		return nil, true
+	}
+	if t := reflect.TypeOf(g); t.Comparable() {
+		return g, true
+	}
+	return nil, false
+}
+
+// tokensEqual compares two tokens, treating a comparison panic as "not
+// equal". A token's static type being comparable does not make every value
+// safely comparable — a struct whose interface field holds a func at run time
+// panics under == — and a cache keyed on user-supplied rewritings must not
+// crash the check over it.
+func tokensEqual(a, b any) (eq bool) {
+	defer func() {
+		if recover() != nil {
+			eq = false
+		}
+	}()
+	return a == b
+}
+
+// lookup returns the cached rewriting of h under the rewriting identified by
+// token, or nil.
+func (c *RewriteCache) lookup(h *History, token any) *RewrittenHistory {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[h]; ok && tokensEqual(e.token, token) {
+		c.hits++
+		return e.rew
+	}
+	c.misses++
+	return nil
+}
+
+// store records the rewriting of h, evicting the whole current generation
+// when the cache is full. An existing entry for h wins — concurrent checks of
+// the same history may race to store, and keeping the first published entry
+// keeps the cached pointer stable for everyone who already read it.
+func (c *RewriteCache) store(h *History, token any, rew *RewrittenHistory) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries == nil {
+		c.entries = make(map[*History]rewriteEntry)
+	}
+	if e, ok := c.entries[h]; ok && tokensEqual(e.token, token) {
+		return
+	}
+	if len(c.entries) >= rewriteCacheCap {
+		clear(c.entries)
+	}
+	c.entries[h] = rewriteEntry{token: token, rew: rew}
+}
+
+// Stats returns the lookup hit/miss counters.
+func (c *RewriteCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached rewritings.
+func (c *RewriteCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// RewriteCacher is implemented by engine sessions that carry a rewrite cache
+// (search.Session does). CheckRA consults it before deriving a rewriting, so
+// batches that thread a session re-clone each distinct history at most once.
+type RewriteCacher interface {
+	RewriteCache() *RewriteCache
+}
+
+// rewriteForCheck is CheckRA's entry into the rewriting: the session's
+// rewrite cache when one is available and applicable (non-nil rewriting with
+// a usable identity — the nil rewriting's aliasing fast path is already
+// cheaper than a cache probe), and a plain RewriteHistory otherwise. The
+// second result reports whether the rewriting was served from the cache.
+func rewriteForCheck(h *History, opts CheckOptions) (*RewrittenHistory, bool, error) {
+	if opts.Rewriting == nil || opts.Session == nil {
+		rew, err := RewriteHistory(h, opts.Rewriting)
+		return rew, false, err
+	}
+	rc, ok := opts.Session.(RewriteCacher)
+	if !ok {
+		rew, err := RewriteHistory(h, opts.Rewriting)
+		return rew, false, err
+	}
+	cache := rc.RewriteCache()
+	token, ok := rewritingToken(opts.Rewriting)
+	if cache == nil || !ok {
+		rew, err := RewriteHistory(h, opts.Rewriting)
+		return rew, false, err
+	}
+	if rew := cache.lookup(h, token); rew != nil {
+		return rew, true, nil
+	}
+	rew, err := RewriteHistory(h, opts.Rewriting)
+	if err != nil {
+		return nil, false, err
+	}
+	cache.store(h, token, rew)
+	return rew, false, nil
+}

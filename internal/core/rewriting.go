@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+)
 
 // Rewriting is a query-update rewriting γ (Definition 3.7). It maps every
 // label to either one label (queries and updates, whose kind must be
@@ -79,23 +82,40 @@ func RewriteHistory(h *History, g Rewriting) (*RewrittenHistory, error) {
 		// GenSeq) without changing structure, kinds, the GenSeq order or the
 		// visibility relation, so alias the input instead of cloning it —
 		// this is the whole per-history rewrite cost of an identity-
-		// rewritten batch check. (The one observable difference: strategy
-		// linearizations break GenSeq *ties* on label ID, which is now the
-		// original ID rather than a fresh insertion-order one. Ties only
-		// arise in hand-built histories — the runtimes issue unique
-		// GenSeqs — and a tie has no defined execution order to preserve;
-		// the exhaustive phase is unaffected.) Query-updates are still rejected exactly like
-		// IdentityRewriting would, walking insertion order so the error
+		// rewritten batch check. Query-updates are still rejected exactly
+		// like IdentityRewriting would, walking insertion order so the error
 		// deterministically names the first offending label. The scan uses
 		// the internal order slice directly — h.Labels() would copy the
 		// whole label slice on a path whose point is paying nothing per
 		// history.
-		for _, id := range h.order {
-			if l := h.labels[id]; l.IsQueryUpdate() {
+		//
+		// Aliasing is only taken when the GenSeqs are pairwise distinct:
+		// candidate orders break GenSeq *ties* on label ID, which under
+		// aliasing is the original ID rather than the fresh insertion-order
+		// ID cloning would assign, so a tied history could linearize its tied
+		// labels in a different order than the cloned run. The same scan
+		// watches for ties — GenSeqs issued by the runtimes increase along
+		// insertion order, so the common case stays a single allocation-free
+		// pass, and only an out-of-order history pays for a duplicate check —
+		// and a tie falls back to the cloning path below, keeping aliased and
+		// cloned runs byte-identical on every input.
+		monotone := true
+		var prev uint64
+		for k, id := range h.order {
+			l := h.labels[id]
+			if l.IsQueryUpdate() {
 				return nil, fmt.Errorf("rewrite %v: query-update must map to a (query, update) pair", l)
 			}
+			if k > 0 && l.GenSeq <= prev {
+				monotone = false
+			}
+			prev = l.GenSeq
 		}
-		return &RewrittenHistory{History: h}, nil
+		if !monotone && hasGenSeqTie(h) {
+			g = IdentityRewriting{}
+		} else {
+			return &RewrittenHistory{History: h}, nil
+		}
 	}
 	out := &RewrittenHistory{History: NewHistory(), images: make(map[uint64]rewrittenPair)}
 	var nextID uint64
@@ -152,21 +172,49 @@ func RewriteHistory(h *History, g Rewriting) (*RewrittenHistory, error) {
 		}
 	}
 	// Transport the visibility relation: (ℓ, ℓ') ∈ vis becomes
-	// (upd(γ(ℓ)), qry(γ(ℓ'))) ∈ vis'.
-	for _, from := range h.Labels() {
-		for _, to := range h.Labels() {
-			if from.ID == to.ID || !h.Vis(from.ID, to.ID) {
-				continue
-			}
-			updFrom := out.images[from.ID].upd
-			qryTo := out.images[to.ID].qry
+	// (upd(γ(ℓ)), qry(γ(ℓ'))) ∈ vis'. The relation's actual edge set is
+	// walked directly — the previous all-pairs loop called Vis for every
+	// ordered label pair, which is Θ(n²) map probes even on a history whose
+	// relation is nearly empty. Successor sets are map-backed, so each one is
+	// buffered and sorted to keep the transport (and any error it surfaces)
+	// deterministic; the sort is O(|vis| log n), negligible against the
+	// transitive-closure maintenance inside AddVis.
+	var tos []uint64
+	for _, fromID := range h.order {
+		succ := h.vis[fromID]
+		if len(succ) == 0 {
+			continue
+		}
+		tos = tos[:0]
+		for to := range succ {
+			tos = append(tos, to)
+		}
+		slices.Sort(tos)
+		updFrom := out.images[fromID].upd
+		for _, toID := range tos {
+			qryTo := out.images[toID].qry
 			if out.History.Vis(updFrom, qryTo) {
 				continue
 			}
 			if err := out.History.AddVis(updFrom, qryTo); err != nil {
-				return nil, fmt.Errorf("rewrite visibility %v -> %v: %w", from, to, err)
+				return nil, fmt.Errorf("rewrite visibility %v -> %v: %w", h.labels[fromID], h.labels[toID], err)
 			}
 		}
 	}
 	return out, nil
+}
+
+// hasGenSeqTie reports whether two labels of h share a generator sequence
+// number. Only called on the nil-rewriting fast path after the cheap
+// monotonicity scan failed, so the map is off the common path.
+func hasGenSeqTie(h *History) bool {
+	seen := make(map[uint64]struct{}, len(h.order))
+	for _, id := range h.order {
+		gs := h.labels[id].GenSeq
+		if _, dup := seen[gs]; dup {
+			return true
+		}
+		seen[gs] = struct{}{}
+	}
+	return false
 }

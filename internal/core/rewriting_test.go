@@ -91,6 +91,115 @@ func TestQueryUpdateRewriting(t *testing.T) {
 	}
 }
 
+// TestNilRewritingAliasesWithoutTies pins the aliasing fast path's positive
+// cases: distinct GenSeqs — monotone or not in insertion order — keep the
+// input history aliased instead of cloned.
+func TestNilRewritingAliasesWithoutTies(t *testing.T) {
+	monotone := NewHistory()
+	monotone.MustAdd(&Label{ID: 7, Method: "add", Args: []Value{"a"}, Kind: KindUpdate, GenSeq: 1})
+	monotone.MustAdd(&Label{ID: 3, Method: "add", Args: []Value{"b"}, Kind: KindUpdate, GenSeq: 2})
+	rew, err := RewriteHistory(monotone, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rew.History != monotone {
+		t.Fatal("distinct monotone GenSeqs must alias the input history")
+	}
+
+	shuffled := NewHistory()
+	shuffled.MustAdd(&Label{ID: 7, Method: "add", Args: []Value{"a"}, Kind: KindUpdate, GenSeq: 5})
+	shuffled.MustAdd(&Label{ID: 3, Method: "add", Args: []Value{"b"}, Kind: KindUpdate, GenSeq: 2})
+	shuffled.MustAdd(&Label{ID: 9, Method: "add", Args: []Value{"c"}, Kind: KindUpdate, GenSeq: 4})
+	rew, err = RewriteHistory(shuffled, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rew.History != shuffled {
+		t.Fatal("distinct out-of-order GenSeqs must still alias the input history")
+	}
+}
+
+// TestNilRewritingFallsBackOnGenSeqTies is the aliasing/cloning divergence
+// regression test: candidate orders break GenSeq ties on label ID, which
+// under aliasing is the original ID (here deliberately ordered against
+// insertion order) while cloning assigns fresh insertion-order IDs. A tied
+// history must therefore take the cloning path, making a nil rewriting
+// byte-identical to an explicit IdentityRewriting on every input.
+func TestNilRewritingFallsBackOnGenSeqTies(t *testing.T) {
+	build := func() *History {
+		h := NewHistory()
+		// Insertion order "first", "second"; ID order the other way around.
+		h.MustAdd(&Label{ID: 50, Method: "add", Args: []Value{"first"}, Kind: KindUpdate, GenSeq: 1, Origin: 1})
+		h.MustAdd(&Label{ID: 10, Method: "add", Args: []Value{"second"}, Kind: KindUpdate, GenSeq: 1, Origin: 2})
+		return h
+	}
+	rew, err := RewriteHistory(build(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aliased := build()
+	if rew.History.Len() != aliased.Len() {
+		t.Fatalf("fallback must preserve the labels: %d vs %d", rew.History.Len(), aliased.Len())
+	}
+
+	opts := CheckOptions{Strategies: []Strategy{StrategyExecutionOrder}, Exhaustive: true, Parallelism: 1}
+	viaNil := CheckRA(build(), setSpec{}, opts)
+	identOpts := opts
+	identOpts.Rewriting = IdentityRewriting{}
+	viaIdentity := CheckRA(build(), setSpec{}, identOpts)
+	if !viaNil.OK || !viaIdentity.OK {
+		t.Fatalf("two concurrent adds must linearize: nil=%+v identity=%+v", viaNil, viaIdentity)
+	}
+	if len(viaNil.Linearization) != len(viaIdentity.Linearization) {
+		t.Fatalf("witness lengths differ: %d vs %d", len(viaNil.Linearization), len(viaIdentity.Linearization))
+	}
+	for i := range viaNil.Linearization {
+		a, b := viaNil.Linearization[i], viaIdentity.Linearization[i]
+		if a.Method != b.Method || !ValueEqual(a.Args, b.Args) || a.Origin != b.Origin {
+			t.Fatalf("witness position %d diverged between nil rewriting and IdentityRewriting: %v vs %v", i, a, b)
+		}
+	}
+}
+
+// TestRewriteVisTransportMatchesAllPairs pins the edge-set visibility
+// transport against the all-pairs definition it replaced: for every ordered
+// label pair, (ℓ, ℓ') ∈ vis iff (upd(γ(ℓ)), qry(γ(ℓ'))) ∈ vis'.
+func TestRewriteVisTransportMatchesAllPairs(t *testing.T) {
+	h := NewHistory()
+	n := 9
+	for i := 1; i <= n; i++ {
+		kind := KindUpdate
+		method := "add"
+		if i%3 == 0 {
+			kind = KindQueryUpdate
+			method = "remove"
+		}
+		h.MustAdd(&Label{ID: uint64(i * 11), Method: method, Args: []Value{"a"}, Ret: []Pair{}, Kind: kind, GenSeq: uint64(i)})
+	}
+	// A sparse relation: a chain over every third label plus two cross edges.
+	h.MustAddVis(11, 44)
+	h.MustAddVis(44, 77)
+	h.MustAddVis(22, 77)
+	h.MustAddVis(55, 99)
+
+	rew, err := RewriteHistory(h, orSetLikeRewriting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, from := range h.Labels() {
+		for _, to := range h.Labels() {
+			if from.ID == to.ID {
+				continue
+			}
+			want := h.Vis(from.ID, to.ID)
+			got := rew.History.Vis(rew.UpdatePart(from.ID).ID, rew.QueryPart(to.ID).ID)
+			if want != got {
+				t.Errorf("vis(%d, %d) = %v not transported faithfully (got %v)", from.ID, to.ID, want, got)
+			}
+		}
+	}
+}
+
 func TestRewriteHistoryValidatesKinds(t *testing.T) {
 	badKind := RewriteFunc(func(l *Label) ([]*Label, error) {
 		c := l.Clone()

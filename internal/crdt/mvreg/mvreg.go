@@ -192,22 +192,30 @@ func Abs(s runtime.State) core.AbsState {
 	return out
 }
 
-// Rewriting moves the version vector returned by write into its arguments
-// (Appendix E.1: write(a) becomes write(a, V')).
+// rewriting moves the version vector returned by write into its arguments
+// (Appendix E.1: write(a) becomes write(a, V')). A named zero-size
+// (comparable) type rather than a RewriteFunc closure, so engine sessions can
+// key their rewrite cache on its value.
+type rewriting struct{}
+
+// Rewrite implements core.Rewriting.
+func (rewriting) Rewrite(l *core.Label) ([]*core.Label, error) {
+	if l.Method != "write" {
+		return []*core.Label{l.Clone()}, nil
+	}
+	vv, ok := l.Ret.(clock.VersionVector)
+	if !ok {
+		return nil, fmt.Errorf("mvreg: write label %v has no version-vector return", l)
+	}
+	c := l.Clone()
+	c.Args = []core.Value{l.Args[0], vv}
+	c.Ret = nil
+	return []*core.Label{c}, nil
+}
+
+// Rewriting returns the Appendix E.1 query-update rewriting.
 func Rewriting() core.Rewriting {
-	return core.RewriteFunc(func(l *core.Label) ([]*core.Label, error) {
-		if l.Method != "write" {
-			return []*core.Label{l.Clone()}, nil
-		}
-		vv, ok := l.Ret.(clock.VersionVector)
-		if !ok {
-			return nil, fmt.Errorf("mvreg: write label %v has no version-vector return", l)
-		}
-		c := l.Clone()
-		c.Args = []core.Value{l.Args[0], vv}
-		c.Ret = nil
-		return []*core.Label{c}, nil
-	})
+	return rewriting{}
 }
 
 // LocalApply is the Appendix E.1 local effector: add the written entry and

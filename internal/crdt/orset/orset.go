@@ -170,42 +170,50 @@ func Abs(s runtime.State) core.AbsState {
 	return out
 }
 
-// Rewriting is the query-update rewriting γ of Example 3.6:
+// rewriting is the query-update rewriting γ of Example 3.6. It is a named
+// zero-size (comparable) type rather than a RewriteFunc closure so engine
+// sessions can key their rewrite cache on its value (core.rewritingToken).
+type rewriting struct{}
+
+// Rewrite implements core.Rewriting:
 //
 //	add(a) ⇒ k      becomes  add(a, k)
 //	remove(a) ⇒ R   becomes  readIds(a) ⇒ R · removeIds(R)
 //	read() ⇒ A      stays    read() ⇒ A
-func Rewriting() core.Rewriting {
-	return core.RewriteFunc(func(l *core.Label) ([]*core.Label, error) {
-		switch l.Method {
-		case "add":
-			id, ok := l.Ret.(uint64)
-			if !ok {
-				return nil, fmt.Errorf("orset: add label %v has no identifier return", l)
-			}
-			c := l.Clone()
-			c.Args = []core.Value{l.Args[0], id}
-			c.Ret = nil
-			return []*core.Label{c}, nil
-		case "remove":
-			observed, ok := l.Ret.([]core.Pair)
-			if !ok {
-				return nil, fmt.Errorf("orset: remove label %v has no observed-pairs return", l)
-			}
-			q := l.Clone()
-			q.Method = "readIds"
-			q.Kind = core.KindQuery
-			q.TS = clock.Bottom
-			u := l.Clone()
-			u.Method = "removeIds"
-			u.Args = []core.Value{observed}
-			u.Ret = nil
-			u.Kind = core.KindUpdate
-			return []*core.Label{q, u}, nil
-		default:
-			return []*core.Label{l.Clone()}, nil
+func (rewriting) Rewrite(l *core.Label) ([]*core.Label, error) {
+	switch l.Method {
+	case "add":
+		id, ok := l.Ret.(uint64)
+		if !ok {
+			return nil, fmt.Errorf("orset: add label %v has no identifier return", l)
 		}
-	})
+		c := l.Clone()
+		c.Args = []core.Value{l.Args[0], id}
+		c.Ret = nil
+		return []*core.Label{c}, nil
+	case "remove":
+		observed, ok := l.Ret.([]core.Pair)
+		if !ok {
+			return nil, fmt.Errorf("orset: remove label %v has no observed-pairs return", l)
+		}
+		q := l.Clone()
+		q.Method = "readIds"
+		q.Kind = core.KindQuery
+		q.TS = clock.Bottom
+		u := l.Clone()
+		u.Method = "removeIds"
+		u.Args = []core.Value{observed}
+		u.Ret = nil
+		u.Kind = core.KindUpdate
+		return []*core.Label{q, u}, nil
+	default:
+		return []*core.Label{l.Clone()}, nil
+	}
+}
+
+// Rewriting returns the query-update rewriting γ of Example 3.6.
+func Rewriting() core.Rewriting {
+	return rewriting{}
 }
 
 // RandomOp performs one random OR-Set operation.

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"math/rand"
 	"reflect"
 	"strings"
 	"testing"
@@ -12,10 +13,15 @@ import (
 
 // normalizeBatch strips the fields that legitimately differ between a
 // shared-session and a fresh-per-history run (pool geometry and session
-// statistics); everything else must be byte-identical.
+// statistics — including the plan-pool, rewrite-cache and adaptive-split
+// counters, which exist to differ between the two pipelines); everything
+// else must be byte-identical.
 func normalizeBatch(hc HistoryCheck) HistoryCheck {
 	hc.BatchWorkers = 0
 	hc.InternedStates = 0
+	hc.MaxInnerParallelism = 0
+	hc.PlanReuses = 0
+	hc.RewriteHits = 0
 	return hc
 }
 
@@ -75,6 +81,7 @@ func TestBatchExhaustiveDifferential(t *testing.T) {
 		check := d.CheckOptions()
 		check.Strategies = nil
 		check.Parallelism = 1
+		check.DebugMemo = true // hash-compaction collisions panic instead of mis-pruning
 		cfg := WorkloadConfig{Seed: 21, Ops: 6, Replicas: 2, Elems: []string{"a", "b"}, DeliveryProb: 40}
 		shared, err := CheckRandomHistoriesWith(d, 5, cfg, BatchOptions{Workers: 3, Check: &check})
 		if err != nil {
@@ -93,6 +100,121 @@ func TestBatchExhaustiveDifferential(t *testing.T) {
 		}
 		if shared.InternedStates == 0 {
 			t.Errorf("%s: shared session interned no states", name)
+		}
+		if shared.PlanReuses == 0 {
+			t.Errorf("%s: shared session reused no pooled plans", name)
+		}
+		if fresh.PlanReuses != 0 || fresh.RewriteHits != 0 {
+			t.Errorf("%s: fresh sessions must not report session amortizations: %+v", name, fresh)
+		}
+	}
+}
+
+// TestBatchPolarityDifferentialAllDescriptors is the cross-history, cross-
+// polarity differential for the session plan pool and rewrite cache: for
+// every CRDT descriptor, a batch mixing RA-linearizable histories, corrupted
+// (refuted) variants, and re-checked duplicates — the rewrite cache's hit
+// case — must produce byte-identical verdicts and search statistics through a
+// shared session (plan pool + rewrite cache + debug memo) and through fresh
+// per-history state.
+func TestBatchPolarityDifferentialAllDescriptors(t *testing.T) {
+	for _, d := range registry.All() {
+		opts := d.CheckOptions()
+		opts.Strategies = nil // force the engine so plans and rewrites are exercised
+		opts.Parallelism = 1
+		opts.DebugMemo = true
+		var hs []*core.History
+		for trial := 0; trial < 3; trial++ {
+			cfg := WorkloadConfig{Seed: int64(500*trial + 31), Ops: 5, Replicas: 2, Elems: []string{"a", "b"}, DeliveryProb: 40}
+			h, err := RunRandom(d, cfg)
+			if err != nil {
+				t.Fatalf("%s workload: %v", d.Name, err)
+			}
+			hs = append(hs, h)
+			if bad := corruptQueryRet(h, int64(trial)); bad != nil {
+				hs = append(hs, bad)
+			}
+		}
+		// Re-check every history a second time through the same batch: on the
+		// shared side the second occurrence must hit the rewrite cache (for
+		// descriptors with a real rewriting) and still match fresh state.
+		hs = append(hs, hs...)
+		shared, err := CheckHistoryBatch(d.Name, d.Spec, opts, hs, BatchOptions{Workers: 3})
+		if err != nil {
+			t.Fatalf("%s shared: %v", d.Name, err)
+		}
+		fresh, err := CheckHistoryBatch(d.Name, d.Spec, opts, hs, BatchOptions{Workers: 1, FreshSessions: true})
+		if err != nil {
+			t.Fatalf("%s fresh: %v", d.Name, err)
+		}
+		if !reflect.DeepEqual(normalizeBatch(shared), normalizeBatch(fresh)) {
+			t.Errorf("%s: mixed-polarity shared batch diverged from fresh:\nshared: %+v\nfresh:  %+v",
+				d.Name, normalizeBatch(shared), normalizeBatch(fresh))
+		}
+		if shared.PlanReuses == 0 {
+			t.Errorf("%s: shared session reused no pooled plans", d.Name)
+		}
+		if d.Rewriting != nil && shared.RewriteHits == 0 {
+			t.Errorf("%s: duplicated histories must hit the rewrite cache", d.Name)
+		}
+		if fresh.RewriteHits != 0 {
+			t.Errorf("%s: fresh runs must not hit a rewrite cache", d.Name)
+		}
+	}
+}
+
+// corruptQueryRet clones the history and breaks the return value of one query
+// so the clone is (very likely) no longer RA-linearizable; nil when the
+// history has no corruptible query.
+func corruptQueryRet(h *core.History, seed int64) *core.History {
+	rng := rand.New(rand.NewSource(seed))
+	c := h.Clone()
+	var queries []*core.Label
+	for _, l := range c.Labels() {
+		if l.IsQuery() && l.Ret != nil {
+			queries = append(queries, l)
+		}
+	}
+	if len(queries) == 0 {
+		return nil
+	}
+	q := queries[rng.Intn(len(queries))]
+	switch ret := q.Ret.(type) {
+	case int64:
+		q.Ret = ret + 1000
+	case string:
+		q.Ret = ret + "⊥corrupt"
+	case []string:
+		q.Ret = append(append([]string(nil), ret...), "⊥corrupt")
+	default:
+		return nil
+	}
+	return c
+}
+
+// TestAdaptiveParallelismPolicy pins the adaptive batch/inner split: wide
+// batches get the static fair-share split (sequential once the batch covers
+// the machine), and the inner parallelism re-widens as the batch drains below
+// the worker count.
+func TestAdaptiveParallelismPolicy(t *testing.T) {
+	cases := []struct {
+		gmp, workers int
+		pending      int64
+		want         int
+	}{
+		{gmp: 8, workers: 4, pending: 100, want: 2}, // wide batch: fair share
+		{gmp: 8, workers: 8, pending: 100, want: 1}, // batch saturates the machine: sequential
+		{gmp: 8, workers: 4, pending: 4, want: 2},   // boundary: still every worker busy
+		{gmp: 8, workers: 4, pending: 2, want: 4},   // draining: idle cores handed back
+		{gmp: 8, workers: 4, pending: 1, want: 8},   // last trial: the whole machine
+		{gmp: 8, workers: 4, pending: 0, want: 8},   // defensive clamp
+		{gmp: 1, workers: 4, pending: 1, want: 1},   // single core: nothing to widen
+		{gmp: 4, workers: 3, pending: 2, want: 2},   // integer share rounds down
+	}
+	for _, c := range cases {
+		if got := adaptiveParallelism(c.gmp, c.workers, c.pending); got != c.want {
+			t.Errorf("adaptiveParallelism(gmp=%d, workers=%d, pending=%d) = %d, want %d",
+				c.gmp, c.workers, c.pending, got, c.want)
 		}
 	}
 }
@@ -140,6 +262,7 @@ func TestBatchPoolRace(t *testing.T) {
 	check := d.CheckOptions()
 	check.Strategies = nil // force the engine on every trial
 	check.Parallelism = 2  // inner parallel search on top of the batch pool
+	check.DebugMemo = true // exercise the debug tuple store under -race too
 	cfg := WorkloadConfig{Seed: 2, Ops: 6, Replicas: 3, Elems: []string{"a", "b"}, DeliveryProb: 40}
 	out, err := CheckRandomHistoriesWith(d, 16, cfg, BatchOptions{Workers: 8, Check: &check})
 	if err != nil {

@@ -36,13 +36,22 @@ func SetBatchWorkers(n int) { batchWorkers = n }
 // searchEffort renders the work a check's exhaustive phase performed in the
 // units of the engine that ran it: complete candidates for the legacy
 // enumerator, prefix nodes for the pruned engine (whose refutations reach no
-// complete candidate at all).
+// complete candidate at all). Session amortizations that served this check —
+// a pooled history plan, a cached rewriting — are appended so tool output
+// shows when the per-check setup cost was skipped.
 func searchEffort(res core.Result) string {
 	if res.Nodes > 0 {
+		s := fmt.Sprintf("explored %d prefixes, %d pruned", res.Nodes, res.Pruned)
 		if res.Steals > 0 {
-			return fmt.Sprintf("explored %d prefixes, %d pruned, %d stolen branches", res.Nodes, res.Pruned, res.Steals)
+			s += fmt.Sprintf(", %d stolen branches", res.Steals)
 		}
-		return fmt.Sprintf("explored %d prefixes, %d pruned", res.Nodes, res.Pruned)
+		if res.PlanReused {
+			s += ", pooled plan"
+		}
+		if res.RewriteCached {
+			s += ", cached rewrite"
+		}
+		return s
 	}
 	return fmt.Sprintf("tried %d linearizations", res.Tried)
 }

@@ -134,11 +134,26 @@ type HistoryCheck struct {
 	// BatchWorkers is the number of goroutines the batch pool checked trials
 	// across.
 	BatchWorkers int
+	// MaxInnerParallelism is the widest inner search parallelism any trial of
+	// the batch ran with. Under the adaptive batch/inner split this grows as
+	// the batch drains (a wide batch starts its searches sequential and the
+	// tail re-widens them over the idling cores); for pinned options it is
+	// just the pinned value, and 0 means unbounded (GOMAXPROCS).
+	MaxInnerParallelism int
 	// InternedStates is the number of distinct abstract states interned by
 	// the batch's shared engine session — the state vocabulary reused across
 	// histories instead of being rebuilt per check. Zero when sessions were
 	// fresh per history or the exhaustive engine never ran.
 	InternedStates int
+	// PlanReuses counts the trials whose prepared history plan (the
+	// preds/succs/affected/order index arrays) came from the session's plan
+	// pool instead of being allocated. At most one trial per concurrently
+	// running worker misses once the pool is warm.
+	PlanReuses int
+	// RewriteHits counts the trials whose γ-rewriting was served from the
+	// session's rewrite cache — nonzero only when the same history object is
+	// checked more than once through one session.
+	RewriteHits int
 	// FailureExample describes the first non-linearizable history (by trial
 	// index), if any.
 	FailureExample string
@@ -204,6 +219,28 @@ func CheckHistoryBatch(name string, sp core.Spec, opts core.CheckOptions, hs []*
 	return runBatch(name, sp, opts, len(hs), gen, batch)
 }
 
+// adaptiveParallelism is the policy of the adaptive batch/inner split: the
+// inner search parallelism granted to a trial starting while pending trials
+// (including itself) remain unfinished, on a machine with gmp cores shared by
+// workers batch goroutines. While the batch is wide (pending ≥ workers) every
+// busy worker gets its fair core share — gmp/workers, the old static split,
+// sequential on machines the batch already saturates. As the batch drains
+// below the worker count the idle workers' cores are handed back, so the last
+// heavy searches of a batch fan out instead of serializing on one core each.
+func adaptiveParallelism(gmp, workers int, pending int64) int {
+	active := int64(workers)
+	if pending < active {
+		active = pending
+	}
+	if active < 1 {
+		active = 1
+	}
+	if par := gmp / int(active); par > 1 {
+		return par
+	}
+	return 1
+}
+
 // runBatch is the batch pipeline: a bounded worker pool generates and checks
 // trials over one shared engine session, and the per-trial results are folded
 // in trial order so stats, ByStrategy and the first FailureExample do not
@@ -223,19 +260,21 @@ func runBatch(name string, sp core.Spec, opts core.CheckOptions, trials int, gen
 		workers = 1
 	}
 	opts = checkTuning(opts)
-	if workers > 1 && opts.Parallelism == 0 {
-		// Split the cores between the batch pool and each check's inner
-		// search rather than oversubscribing: a wide batch (workers ==
-		// GOMAXPROCS) runs each search sequentially — which also keeps
-		// per-trial search statistics deterministic — while a batch smaller
-		// than the machine (say 2 heavy histories on 16 cores) still fans
-		// each search across the idle cores. Callers pinning Parallelism
-		// (or Workers) keep full control.
-		opts.Parallelism = gruntime.GOMAXPROCS(0) / workers
-		if opts.Parallelism < 1 {
-			opts.Parallelism = 1
-		}
-	}
+	// Adaptive batch/inner split: divide the cores between the batch pool
+	// and each check's inner search rather than oversubscribing, and re-widen
+	// the inner searches as the batch drains. A wide batch (pending trials ≥
+	// workers) runs each search sequentially, exactly like the old static
+	// GOMAXPROCS/workers split; once fewer trials remain than workers, the
+	// idling cores are handed back to the remaining searches (say the last 2
+	// heavy histories on 16 cores each get 8 workers), so the batch tail no
+	// longer serializes on one core per trial. Callers pinning Parallelism
+	// (or Workers ≤ 1) keep full control — and fully deterministic per-trial
+	// search statistics, which the adaptive tail trades away (parallel node
+	// counts track sequential but are not bit-stable).
+	adaptiveInner := workers > 1 && opts.Parallelism == 0
+	gmp := gruntime.GOMAXPROCS(0)
+	var pending atomic.Int64
+	pending.Store(int64(trials))
 	var sess *search.Session
 	if !batch.FreshSessions {
 		sess = search.NewSession()
@@ -246,18 +285,21 @@ func runBatch(name string, sp core.Spec, opts core.CheckOptions, trials int, gen
 	// and witness until the batch finishes, where the sequential loop let
 	// each trial's history become garbage immediately.
 	type trialResult struct {
-		seed     int64
-		ops      int
-		err      error
-		ok       bool
-		strategy *core.Strategy
-		lastErr  error
-		tried    int
-		nodes    int
-		pruned   int
-		memoHits int
-		steals   int
-		shards   int
+		seed       int64
+		ops        int
+		err        error
+		ok         bool
+		strategy   *core.Strategy
+		lastErr    error
+		tried      int
+		nodes      int
+		pruned     int
+		memoHits   int
+		steals     int
+		shards     int
+		innerPar   int
+		planReuse  bool
+		rewriteHit bool
 	}
 	results := make([]trialResult, trials)
 	// failed stops the dispatch of further trials once any trial errors, so
@@ -268,6 +310,7 @@ func runBatch(name string, sp core.Spec, opts core.CheckOptions, trials int, gen
 	// lowest-index error deterministically.
 	var failed atomic.Bool
 	runTrial := func(i int) {
+		defer pending.Add(-1)
 		h, seed, err := gen(i)
 		results[i].seed = seed
 		if err != nil {
@@ -276,7 +319,12 @@ func runBatch(name string, sp core.Spec, opts core.CheckOptions, trials int, gen
 			return
 		}
 		results[i].ops = h.Len()
-		res := core.CheckRAWith(h, sp, opts, sess)
+		trialOpts := opts
+		if adaptiveInner {
+			trialOpts.Parallelism = adaptiveParallelism(gmp, workers, pending.Load())
+		}
+		results[i].innerPar = trialOpts.Parallelism
+		res := core.CheckRAWith(h, sp, trialOpts, sess)
 		results[i].ok = res.OK
 		results[i].strategy = res.Strategy
 		results[i].lastErr = res.LastErr
@@ -286,6 +334,8 @@ func runBatch(name string, sp core.Spec, opts core.CheckOptions, trials int, gen
 		results[i].memoHits = res.MemoHits
 		results[i].steals = res.Steals
 		results[i].shards = res.Shards
+		results[i].planReuse = res.PlanReused
+		results[i].rewriteHit = res.RewriteCached
 	}
 	if workers <= 1 {
 		for i := 0; i < trials && !failed.Load(); i++ {
@@ -326,6 +376,15 @@ func runBatch(name string, sp core.Spec, opts core.CheckOptions, trials int, gen
 		out.Steals += tr.steals
 		if tr.shards > out.Shards {
 			out.Shards = tr.shards
+		}
+		if tr.innerPar > out.MaxInnerParallelism {
+			out.MaxInnerParallelism = tr.innerPar
+		}
+		if tr.planReuse {
+			out.PlanReuses++
+		}
+		if tr.rewriteHit {
+			out.RewriteHits++
 		}
 		if !tr.ok {
 			if out.FailureExample == "" {

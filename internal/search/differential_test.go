@@ -55,6 +55,9 @@ func compareEngines(t *testing.T, ctx string, h *core.History, spec core.Spec, r
 	legacyOpts.Engine = core.EngineLegacy
 	prunedOpts := base
 	prunedOpts.Engine = core.EnginePruned
+	// Differential runs are exactly where a silent memo hash collision would
+	// masquerade as an engine bug; make it a loud invariant instead.
+	prunedOpts.DebugMemo = true
 	legacy := core.CheckRA(h, spec, legacyOpts)
 	pruned := core.CheckRA(h, spec, prunedOpts)
 	if !legacy.Complete || !pruned.Complete {

@@ -96,8 +96,8 @@ func TestHash128Deterministic(t *testing.T) {
 // order in which each interned other states first.
 func TestMemoKeyStableAcrossWorkers(t *testing.T) {
 	h := concurrentIncsHistory(4, 4)
-	pre, err := prepare(h, false)
-	if err != nil {
+	pre := &prepared{}
+	if err := pre.build(h, false); err != nil {
 		t.Fatal(err)
 	}
 	sh := newShared(0)

@@ -1,6 +1,10 @@
 package search
 
-import "sync"
+import (
+	"fmt"
+	"slices"
+	"sync"
+)
 
 // bitset is a fixed-capacity bit vector over label indices; histories can
 // exceed 64 labels after rewriting, so one word is not enough in general.
@@ -35,16 +39,29 @@ const memoShardCount = 64
 // on its own stack, because the placed set grows strictly with depth — while
 // in parallel it removes the window in which two workers duplicate a subtree
 // that neither has finished.
+// In debug mode (core.CheckOptions.DebugMemo) every claimed key additionally
+// stores the full word tuple it was hashed from, and a duplicate key arriving
+// with a different tuple — a genuine 128-bit hash collision, which would
+// silently prune a subtree that was never explored — panics instead of
+// pruning. This turns the ~2⁻⁶⁴ hash-compaction risk into a checked
+// invariant for differential and soak runs, at the cost of one tuple
+// allocation per memoized node.
 type memoTable struct {
+	// debug is set by Run from the check's options before any worker touches
+	// the table, and is only read afterwards.
+	debug  bool
 	shards [memoShardCount]memoShard
 }
 
 type memoShard struct {
 	mu   sync.Mutex
 	seen map[key128]struct{}
-	// Pad the 16 bytes of mutex + map header to a full 64-byte cache line so
-	// neighboring stripes don't false-share.
-	_ [48]byte
+	// tuples holds the full hashed word sequence per key in debug mode
+	// (nil otherwise).
+	tuples map[key128][]uint64
+	// Pad the 24 bytes of mutex + two map headers to a full 64-byte cache
+	// line so neighboring stripes don't false-share.
+	_ [40]byte
 }
 
 func newMemoTable() *memoTable {
@@ -61,21 +78,38 @@ func newMemoTable() *memoTable {
 // never survive into the next check — clearing, not reuse of contents, is the
 // point. Must not be called while a search is still using the table.
 func (m *memoTable) reset() {
+	m.debug = false
 	for i := range m.shards {
 		clear(m.shards[i].seen)
+		clear(m.shards[i].tuples)
 	}
 }
 
 // claim records the configuration key and reports whether this call was the
 // first to do so. A false return means an equal configuration is already
 // being (or has been) explored elsewhere and the caller must skip its
-// subtree.
-func (m *memoTable) claim(k key128) bool {
+// subtree. tuple is the word sequence the key was hashed from; it is ignored
+// outside debug mode, where a duplicate key with a non-equal tuple is a hash
+// collision and panics.
+func (m *memoTable) claim(k key128, tuple []uint64) bool {
 	sh := &m.shards[k.lo%memoShardCount]
 	sh.mu.Lock()
 	_, dup := sh.seen[k]
 	if !dup {
 		sh.seen[k] = struct{}{}
+		if m.debug {
+			if sh.tuples == nil {
+				sh.tuples = make(map[key128][]uint64)
+			}
+			sh.tuples[k] = append([]uint64(nil), tuple...)
+		}
+	} else if m.debug {
+		if stored, ok := sh.tuples[k]; ok && !slices.Equal(stored, tuple) {
+			sh.mu.Unlock()
+			panic(fmt.Sprintf(
+				"search: 128-bit memo key collision: key %016x%016x first claimed for configuration %v, re-claimed for distinct configuration %v",
+				k.hi, k.lo, stored, tuple))
+		}
 	}
 	sh.mu.Unlock()
 	return !dup
@@ -94,9 +128,16 @@ func (m *memoTable) claim(k key128) bool {
 // The second return value is false when memoization is off: the table is
 // disabled, or some reachable state does not implement core.StateKeyer (the
 // shared unkeyable flag, set by stepAll, covers every worker).
+//
+// In debug mode the walk additionally records the exact word sequence into
+// s.keyTuple (claim stores it next to the key); the hot path keeps its
+// append-free loop.
 func (s *searcher) memoKey() (key128, bool) {
 	if s.memo == nil || s.sh.unkeyable.Load() {
 		return key128{}, false
+	}
+	if s.memo.debug {
+		return s.memoKeyDebug()
 	}
 	h := newHash128()
 	for _, w := range s.placed {
@@ -118,5 +159,41 @@ func (s *searcher) memoKey() (key128, bool) {
 			}
 		}
 	}
+	return h.sum(), true
+}
+
+// memoKeyDebug is memoKey with the hashed words captured in s.keyTuple. The
+// two walks must stay in lockstep: the tuple is the collision-check witness
+// for exactly the words the hash consumed.
+func (s *searcher) memoKeyDebug() (key128, bool) {
+	h := newHash128()
+	t := s.keyTuple[:0]
+	for _, w := range s.placed {
+		h.mix(w)
+		t = append(t, w)
+	}
+	w := uint64(len(s.mainIDs))
+	h.mix(w)
+	t = append(t, w)
+	for _, id := range s.mainIDs {
+		h.mixID(id)
+		t = append(t, uint64(id))
+	}
+	if !s.strong {
+		for _, q := range s.pre.queries {
+			if s.placed.get(q) {
+				continue
+			}
+			ids := s.qids[q]
+			w := uint64(q)<<32 | uint64(len(ids))
+			h.mix(w)
+			t = append(t, w)
+			for _, id := range ids {
+				h.mixID(id)
+				t = append(t, uint64(id))
+			}
+		}
+	}
+	s.keyTuple = t
 	return h.sum(), true
 }

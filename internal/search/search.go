@@ -45,7 +45,7 @@ package search
 import (
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 
 	"ralin/internal/core"
@@ -69,11 +69,12 @@ func init() {
 // table and searchers are recycled through the session's pools — reset, not
 // reallocated — when the search finishes.
 func Run(h *core.History, spec core.Spec, strong bool, opts core.CheckOptions) core.EngineOutcome {
-	pre, err := prepare(h, strong)
-	if err != nil {
+	sess, _ := opts.Session.(*Session)
+	pre, planReused := sess.getPlan()
+	defer sess.putPlan(pre)
+	if err := pre.build(h, strong); err != nil {
 		return core.EngineOutcome{Complete: true, LastErr: err}
 	}
-	sess, _ := opts.Session.(*Session)
 	sh := newShared(nodeBudget(opts))
 	var intern *interner
 	if sess != nil {
@@ -84,6 +85,7 @@ func Run(h *core.History, spec core.Spec, strong bool, opts core.CheckOptions) c
 	var memo *memoTable
 	if !opts.DisableMemo {
 		memo = sess.getMemo()
+		memo.debug = opts.DebugMemo
 		defer sess.putMemo(memo)
 		sh.shards = memoShardCount
 	}
@@ -102,7 +104,9 @@ func Run(h *core.History, spec core.Spec, strong bool, opts core.CheckOptions) c
 		s.dfs()
 		s.flush()
 		sess.putSearcher(s)
-		return sh.outcome(1)
+		out := sh.outcome(1)
+		out.PlanReused = planReused
+		return out
 	}
 
 	// Work-stealing: the queue is seeded with the single empty prefix; the
@@ -139,7 +143,9 @@ func Run(h *core.History, spec core.Spec, strong bool, opts core.CheckOptions) c
 		}(w)
 	}
 	wg.Wait()
-	return sh.outcome(workers)
+	out := sh.outcome(workers)
+	out.PlanReused = planReused
+	return out
 }
 
 // nodeBudget derives the prefix-node budget from the options: MaxNodes wins;
@@ -157,15 +163,21 @@ func nodeBudget(opts core.CheckOptions) int64 {
 }
 
 // prepared is the immutable, index-based view of the history shared by all
-// workers.
+// workers of one check: the history's "plan". Plans are pooled per session
+// (Session.getPlan/putPlan): build clears-not-reallocates every index slice,
+// so after the first few checks of a batch a plan rebuild allocates nothing
+// but the sort closure — the same arena discipline the session's memo tables
+// use.
 type prepared struct {
 	labels []*core.Label
 	// preds[i] / succs[i] are the (transitive) visibility predecessors and
-	// successors of labels[i], as indices.
+	// successors of labels[i], as indices. Entry order within one adjacency
+	// list is unspecified (the edges come straight off the relation's
+	// adjacency maps); the search only ever counts and iterates them.
 	preds [][]int
 	succs [][]int
 	// affected[i] lists, for an update labels[i], the indices of the queries
-	// it is visible to (RA mode only).
+	// it is visible to, in ascending query order (RA mode only).
 	affected [][]int
 	// queries lists the query indices in ascending order (RA mode only).
 	queries []int
@@ -173,32 +185,40 @@ type prepared struct {
 	// are tried in this order so the search reaches execution-order-like
 	// witnesses first.
 	order []int
+	// idx maps label identifiers to indices while building; reused across
+	// checks like every other slice here.
+	idx map[uint64]int
 }
 
-func prepare(h *core.History, strong bool) (*prepared, error) {
-	labels := h.Labels()
+// build populates the plan for h, reusing the backing arrays of whatever
+// check used this plan before. The visibility indexes are filled from the
+// relation's actual edge set (core.History.VisEdges) — one pass over |vis|
+// edges — instead of per-label VisibleTo/SeenBy scans, which allocate two
+// fresh slices per label and probe all n² ordered pairs.
+func (p *prepared) build(h *core.History, strong bool) error {
+	p.labels = h.AppendLabels(p.labels[:0])
+	labels := p.labels
 	n := len(labels)
-	idx := make(map[uint64]int, n)
-	for i, l := range labels {
-		idx[l.ID] = i
-	}
-	p := &prepared{
-		labels:   labels,
-		preds:    make([][]int, n),
-		succs:    make([][]int, n),
-		affected: make([][]int, n),
+	if p.idx == nil {
+		p.idx = make(map[uint64]int, n)
+	} else {
+		clear(p.idx)
 	}
 	for i, l := range labels {
 		if !strong && l.IsQueryUpdate() {
-			return nil, fmt.Errorf("label %v is a query-update; apply a rewriting first", l)
+			return fmt.Errorf("label %v is a query-update; apply a rewriting first", l)
 		}
-		for _, pl := range h.VisibleTo(l) {
-			p.preds[i] = append(p.preds[i], idx[pl.ID])
-		}
-		for _, sl := range h.SeenBy(l) {
-			p.succs[i] = append(p.succs[i], idx[sl.ID])
-		}
+		p.idx[l.ID] = i
 	}
+	p.preds = resizeIndexSets(p.preds, n)
+	p.succs = resizeIndexSets(p.succs, n)
+	p.affected = resizeIndexSets(p.affected, n)
+	p.queries = p.queries[:0]
+	h.VisEdges(func(from, to uint64) {
+		fi, ti := p.idx[from], p.idx[to]
+		p.preds[ti] = append(p.preds[ti], fi)
+		p.succs[fi] = append(p.succs[fi], ti)
+	})
 	if !strong {
 		for i, l := range labels {
 			if l.IsQuery() {
@@ -211,16 +231,50 @@ func prepare(h *core.History, strong bool) (*prepared, error) {
 			}
 		}
 	}
-	p.order = make([]int, n)
+	p.order = resizeInts(p.order, n)
 	for i := range p.order {
 		p.order[i] = i
 	}
-	sort.Slice(p.order, func(x, y int) bool {
-		la, lb := labels[p.order[x]], labels[p.order[y]]
+	slices.SortFunc(p.order, func(x, y int) int {
+		la, lb := labels[x], labels[y]
 		if la.GenSeq != lb.GenSeq {
-			return la.GenSeq < lb.GenSeq
+			if la.GenSeq < lb.GenSeq {
+				return -1
+			}
+			return 1
 		}
-		return la.ID < lb.ID
+		if la.ID < lb.ID {
+			return -1
+		}
+		if la.ID > lb.ID {
+			return 1
+		}
+		return 0
 	})
-	return p, nil
+	return nil
+}
+
+// release drops the plan's references into the finished check's history so a
+// pooled plan pins no labels; the index arrays (ints only) stay for the next
+// build.
+func (p *prepared) release() {
+	clear(p.labels)
+	p.labels = p.labels[:0]
+}
+
+// resizeIndexSets returns a length-n slice of empty index lists, carrying
+// over the backing array and every already-allocated inner list (truncated,
+// capacity kept) from earlier checks.
+func resizeIndexSets(s [][]int, n int) [][]int {
+	if cap(s) < n {
+		grown := make([][]int, n)
+		copy(grown, s[:cap(s)])
+		s = grown
+	} else {
+		s = s[:n]
+	}
+	for i := range s {
+		s[i] = s[i][:0]
+	}
+	return s
 }

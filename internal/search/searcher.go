@@ -99,6 +99,10 @@ type searcher struct {
 	// checks of a session.
 	initStates []core.AbsState
 	initIDs    []uint32
+	// keyTuple is the debug-memo scratch: the exact word sequence the last
+	// memoKey hashed, stored by claim as the collision-check witness. Unused
+	// (and never grown) outside debug mode.
+	keyTuple []uint64
 
 	frames []frame
 	// pool recycles state-set buffers released by leave; after warm-up the
@@ -312,7 +316,7 @@ func (s *searcher) dfs() status {
 		return sFound
 	}
 	if key, keyed := s.memoKey(); keyed {
-		if !s.memo.claim(key) {
+		if !s.memo.claim(key, s.keyTuple) {
 			// An equal configuration is being (or has been) explored by some
 			// worker; its subtree equals ours, so skip.
 			s.memoHit++

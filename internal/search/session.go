@@ -2,13 +2,16 @@ package search
 
 import (
 	"sync"
+
+	"ralin/internal/core"
 )
 
 // Session is the cross-check state of one batch of searches: the interner
 // assigning dense IDs to canonical state keys, an arena of lock-striped memo
-// tables, and a pool of per-worker searcher scratch (undo frames, state-set
-// buffers, candidate slices). A single check pays for all of these as warm-up;
-// a batch that threads one Session through every check
+// tables, a pool of prepared history plans, a rewrite cache, and a pool of
+// per-worker searcher scratch (undo frames, state-set buffers, candidate
+// slices). A single check pays for all of these as warm-up; a batch that
+// threads one Session through every check
 // (core.CheckRAWith / CheckOptions.Session) pays once and then only resets.
 //
 // Sharing is safe because the pieces have different lifetimes:
@@ -21,6 +24,14 @@ import (
 //     different histories); the arena recycles the tables themselves, cleared
 //     with their buckets kept, so a check allocates no shard maps after the
 //     arena warms up;
+//   - history plans (the preds/succs/affected/order index arrays prepare()
+//     derives) are per-check; the pool recycles the plan structs with their
+//     index slices cleared-not-reallocated, so a check's setup stops paying
+//     the per-history index allocations once the pool warms up;
+//   - the rewrite cache is keyed by history identity and survives the whole
+//     session: a history re-checked through the session clones and
+//     re-derives its γ-rewriting once, not once per check (consulted by
+//     core.CheckRA through the core.RewriteCacher interface);
 //   - searchers are per-worker-per-check; the pool recycles their backing
 //     arrays and buffer pools, re-initialized for each history's label count.
 //
@@ -29,11 +40,13 @@ import (
 // check only reaches states of its own specification, so cross-spec key
 // collisions in the shared interner are harmless.
 type Session struct {
-	intern *interner
+	intern   *interner
+	rewrites core.RewriteCache
 
 	mu        sync.Mutex
 	memos     []*memoTable
 	searchers []*searcher
+	plans     []*prepared
 }
 
 // NewSession creates an empty batch session. It implements
@@ -54,6 +67,49 @@ func (s *Session) InternedStates() int {
 		return 0
 	}
 	return s.intern.size()
+}
+
+// RewriteCache exposes the session's γ-rewriting cache; it implements
+// core.RewriteCacher, which core.CheckRA consults so re-checked histories
+// clone their rewriting once per session instead of once per check. Returns
+// nil on a nil session (no caching).
+func (s *Session) RewriteCache() *core.RewriteCache {
+	if s == nil {
+		return nil
+	}
+	return &s.rewrites
+}
+
+// getPlan takes a recycled history plan from the pool — its index slices are
+// cleared-not-reallocated by the next build — or a fresh one when the session
+// is nil or the pool is empty. The second result reports whether the plan was
+// recycled (surfaced as Result.PlanReused).
+func (s *Session) getPlan() (*prepared, bool) {
+	if s == nil {
+		return &prepared{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := len(s.plans); n > 0 {
+		p := s.plans[n-1]
+		s.plans[n-1] = nil
+		s.plans = s.plans[:n-1]
+		return p, true
+	}
+	return &prepared{}, false
+}
+
+// putPlan drops the plan's label references (so a pooled plan pins nothing of
+// the finished check's history) and returns it to the pool. No-op on a nil
+// session.
+func (s *Session) putPlan(p *prepared) {
+	if s == nil || p == nil {
+		return
+	}
+	p.release()
+	s.mu.Lock()
+	s.plans = append(s.plans, p)
+	s.mu.Unlock()
 }
 
 // getMemo takes a cleared memo table from the arena (allocating only when the

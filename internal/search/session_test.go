@@ -97,6 +97,162 @@ func TestSessionConcurrentChecks(t *testing.T) {
 	wg.Wait()
 }
 
+// TestSessionPlanPoolReuse checks the plan pool end to end: the first check
+// of a session builds its plan fresh, later checks draw recycled plans
+// (surfaced as PlanReused), and a recycled plan rebuilt for a history of a
+// different size produces exactly the outcome of a fresh plan.
+func TestSessionPlanPoolReuse(t *testing.T) {
+	sess := NewSession()
+	first := Run(concurrentIncsHistory(6, 99), spec.Counter{}, false, sessOpts(sess))
+	if first.PlanReused {
+		t.Fatalf("first check of a session cannot reuse a plan: %+v", first)
+	}
+	for _, k := range []int{6, 3, 8} { // shrink and grow across reuses
+		fresh := Run(concurrentIncsHistory(k, 99), spec.Counter{}, false, sessOpts(nil))
+		got := Run(concurrentIncsHistory(k, 99), spec.Counter{}, false, sessOpts(sess))
+		if !got.PlanReused {
+			t.Fatalf("k=%d: warm session must reuse a pooled plan: %+v", k, got)
+		}
+		if fresh.PlanReused {
+			t.Fatalf("k=%d: sessionless run cannot reuse a plan: %+v", k, fresh)
+		}
+		got.PlanReused = false
+		if got.OK != fresh.OK || got.Complete != fresh.Complete || got.Nodes != fresh.Nodes ||
+			got.Pruned != fresh.Pruned || got.MemoHits != fresh.MemoHits {
+			t.Fatalf("k=%d: pooled-plan outcome %+v differs from fresh %+v", k, got, fresh)
+		}
+	}
+}
+
+// TestSessionPlanPoolConcurrent hammers the plan pool with concurrent checks
+// of different history sizes, so `go test -race` exercises concurrent
+// getPlan/putPlan and the clear-not-reallocate resize paths of the pooled
+// index slices.
+func TestSessionPlanPoolConcurrent(t *testing.T) {
+	sess := NewSession()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 6; rep++ {
+				k := 3 + (g+rep)%4 // sizes 3..6 interleave shrink and grow
+				ret := int64(k)
+				wantOK := true
+				if rep%2 == 1 {
+					ret, wantOK = 99, false
+				}
+				out := Run(concurrentIncsHistory(k, ret), spec.Counter{}, false, sessOpts(sess))
+				if out.OK != wantOK || !out.Complete {
+					t.Errorf("g=%d rep=%d k=%d: got %+v, want OK=%v", g, rep, k, out, wantOK)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// cloneRewriting is a comparable cloning rewriting for the cache tests; tag
+// distinguishes rewriting *values* of the same type.
+type cloneRewriting struct{ tag int }
+
+func (cloneRewriting) Rewrite(l *core.Label) ([]*core.Label, error) {
+	return []*core.Label{l.Clone()}, nil
+}
+
+// TestSessionRewriteCache checks the rewrite cache through the full
+// core.CheckRA plumbing: the first check of a history under a cloning
+// rewriting derives the rewriting, the second is served from the session
+// cache (same Rewritten pointer, RewriteCached set), a different rewriting
+// value for the same history misses, and function-typed rewritings — which
+// have no safe identity — bypass the cache entirely.
+func TestSessionRewriteCache(t *testing.T) {
+	sess := NewSession()
+	h := concurrentIncsHistory(5, 5)
+	opts := core.CheckOptions{Rewriting: cloneRewriting{tag: 1}, Exhaustive: true, Parallelism: 1}
+	first := core.CheckRAWith(h, spec.Counter{}, opts, sess)
+	if !first.OK || first.RewriteCached {
+		t.Fatalf("first check must derive the rewriting itself: %+v", first)
+	}
+	second := core.CheckRAWith(h, spec.Counter{}, opts, sess)
+	if !second.OK || !second.RewriteCached {
+		t.Fatalf("second check of the same history must hit the rewrite cache: %+v", second)
+	}
+	if first.Rewritten != second.Rewritten {
+		t.Fatal("cached rewriting must be the same derived history, not a re-clone")
+	}
+	if hits, misses := sess.RewriteCache().Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("want 1 hit / 1 miss, got %d / %d", hits, misses)
+	}
+	// A different rewriting value must not be served the first one's clone.
+	otherOpts := opts
+	otherOpts.Rewriting = cloneRewriting{tag: 2}
+	third := core.CheckRAWith(h, spec.Counter{}, otherOpts, sess)
+	if third.RewriteCached {
+		t.Fatalf("a different rewriting value must miss the cache: %+v", third)
+	}
+	// RewriteFunc closures have no comparable identity (a code pointer would
+	// alias same-body closures with different captured state, e.g. two
+	// composed systems), so they must never be cached — not even for the
+	// exact same func value.
+	fn := core.RewriteFunc(func(l *core.Label) ([]*core.Label, error) {
+		return []*core.Label{l.Clone()}, nil
+	})
+	fnOpts := opts
+	fnOpts.Rewriting = fn
+	for i := 0; i < 2; i++ {
+		res := core.CheckRAWith(h, spec.Counter{}, fnOpts, sess)
+		if !res.OK || res.RewriteCached {
+			t.Fatalf("func-typed rewriting must bypass the cache (run %d): %+v", i, res)
+		}
+	}
+	// Nil sessions and fresh runs never report cache hits.
+	plain := core.CheckRA(h, spec.Counter{}, opts)
+	if plain.RewriteCached {
+		t.Fatalf("sessionless check cannot hit a rewrite cache: %+v", plain)
+	}
+}
+
+// TestDebugMemoDetectsCollision pins the debug memo invariant at the table
+// level: re-claiming a key with the tuple it was stored under is a normal
+// duplicate, re-claiming it with a different tuple — a hash collision — must
+// panic.
+func TestDebugMemoDetectsCollision(t *testing.T) {
+	m := newMemoTable()
+	m.debug = true
+	k := key128{hi: 1, lo: 2}
+	if !m.claim(k, []uint64{10, 20}) {
+		t.Fatal("first claim must succeed")
+	}
+	if m.claim(k, []uint64{10, 20}) {
+		t.Fatal("second claim of the same configuration must report duplicate")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("claiming the same key for a distinct tuple must panic")
+		}
+	}()
+	m.claim(k, []uint64{10, 21})
+}
+
+// TestDebugMemoMatchesPlainMemo runs the same refutation with and without
+// debug memo mode: the stored tuples must change nothing about the search
+// outcome (and a full refutation under debug mode doubles as a soak of the
+// collision invariant).
+func TestDebugMemoMatchesPlainMemo(t *testing.T) {
+	h := concurrentIncsHistory(6, 99)
+	plain := Run(h, spec.Counter{}, false, core.CheckOptions{Parallelism: 1})
+	debug := Run(h, spec.Counter{}, false, core.CheckOptions{Parallelism: 1, DebugMemo: true})
+	if plain.OK != debug.OK || plain.Complete != debug.Complete ||
+		plain.Nodes != debug.Nodes || plain.MemoHits != debug.MemoHits {
+		t.Fatalf("debug memo changed the search: plain %+v debug %+v", plain, debug)
+	}
+	if debug.MemoHits == 0 {
+		t.Fatal("refutation must exercise the memo table")
+	}
+}
+
 // TestSessionThroughCheckRAWith exercises the full core → engine plumbing:
 // CheckRAWith must deliver the session to the pruned engine and behave like
 // CheckRA otherwise.
