@@ -80,6 +80,9 @@ type System struct {
 	objects  map[string]*objectRuntime
 	hist     *core.History
 	genSeq   uint64
+	// visScratch buffers the global seen-set per Invoke (see
+	// runtime.AppendSeenDescending).
+	visScratch []uint64
 }
 
 // NewSystem builds a composed deployment of the given objects over the given
@@ -197,11 +200,14 @@ func (s *System) Invoke(object string, r clock.ReplicaID, method string, args ..
 	if err := s.hist.Add(g); err != nil {
 		return nil, err
 	}
-	for id := range before {
-		if !s.hist.Vis(id, g.ID) {
-			if err := s.hist.AddVis(id, g.ID); err != nil {
-				return nil, err
-			}
+	// Descending identifier order inserts the most recent — most likely
+	// vis-maximal — seen operations first, so the history's reachability
+	// index reduces every transitively implied edge to one bit probe (and
+	// the recorded direct adjacency is deterministic).
+	s.visScratch = runtime.AppendSeenDescending(s.visScratch[:0], before)
+	for _, id := range s.visScratch {
+		if err := s.hist.AddVis(id, g.ID); err != nil {
+			return nil, err
 		}
 	}
 	return g, nil

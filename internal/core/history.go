@@ -8,23 +8,65 @@ import (
 	"ralin/internal/clock"
 )
 
+// labelAt pairs a label with its dense rank (insertion index); the value type
+// of the identifier index.
+type labelAt struct {
+	label *Label
+	rank  int32
+}
+
 // History is a pair (L, vis): a set of operation labels together with an
-// acyclic visibility relation between them (Section 3.1). The relation is
-// stored transitively closed, matching the operational semantics where
-// visibility is a strict partial order by construction.
+// acyclic visibility relation between them (Section 3.1). Labels are keyed by
+// a dense rank (their insertion index); the relation is stored closure-free as
+// the directly inserted edges (adjacency slices per rank, in edge insertion
+// order) plus an explicit reachability index: one successor bitset per rank,
+// maintained incrementally by AddVis. Vis and Concurrent are single bit
+// probes, VisEdges/VisibleTo/SeenBy iterate the bitsets in rank order, and
+// cycle detection is one bit probe — where the previous representation kept
+// the whole transitive closure as map-of-maps entries and rescanned the full
+// relation per inserted edge.
+//
+// Queries (Vis, Concurrent, VisEdges, VisibleTo, SeenBy, Label, Labels, ...)
+// are read-only and safe for concurrent use; Add and AddVis mutate and
+// require external synchronization.
 type History struct {
-	labels map[uint64]*Label
-	order  []uint64
-	// vis[a][b] holds when label a is visible to label b.
-	vis map[uint64]map[uint64]bool
+	byID map[uint64]labelAt
+	// seq holds the labels by rank, i.e. in insertion order.
+	seq []*Label
+	// adjOut[r] / adjIn[r] are the direct visibility edges inserted by AddVis
+	// (successor and predecessor ranks), in edge insertion order. Edges whose
+	// endpoints were already related transitively are not recorded — the
+	// adjacency is a generating set of the relation, not its closure.
+	adjOut [][]int32
+	adjIn  [][]int32
+	// reach[r] is the reachability row of rank r: bit s is set iff seq[r] is
+	// (transitively) visible to seq[s].
+	reach []bitset
+	// mark/epoch/stack are AddVis's reverse-walk scratch: epoch-stamped
+	// visited marks so propagation allocates nothing per edge.
+	mark  []uint64
+	epoch uint64
+	stack []int32
 }
 
 // NewHistory returns an empty history.
 func NewHistory() *History {
-	return &History{
-		labels: make(map[uint64]*Label),
-		vis:    make(map[uint64]map[uint64]bool),
+	return &History{byID: make(map[uint64]labelAt)}
+}
+
+// reserve pre-sizes the per-rank arrays (and the identifier index) for n
+// labels, so construction code that knows the final size up front — the
+// rewriting, cloning — pays no append growth per label.
+func (h *History) reserve(n int) {
+	if n <= len(h.seq) || len(h.seq) > 0 {
+		return
 	}
+	h.byID = make(map[uint64]labelAt, n)
+	h.seq = make([]*Label, 0, n)
+	h.adjOut = make([][]int32, 0, n)
+	h.adjIn = make([][]int32, 0, n)
+	h.reach = make([]bitset, 0, n)
+	h.mark = make([]uint64, 0, n)
 }
 
 // Add inserts a label into the history. Adding a label with a duplicate
@@ -33,11 +75,15 @@ func (h *History) Add(l *Label) error {
 	if l == nil {
 		return fmt.Errorf("history: nil label")
 	}
-	if _, ok := h.labels[l.ID]; ok {
+	if _, ok := h.byID[l.ID]; ok {
 		return fmt.Errorf("history: duplicate label id %d", l.ID)
 	}
-	h.labels[l.ID] = l
-	h.order = append(h.order, l.ID)
+	h.byID[l.ID] = labelAt{label: l, rank: int32(len(h.seq))}
+	h.seq = append(h.seq, l)
+	h.adjOut = append(h.adjOut, nil)
+	h.adjIn = append(h.adjIn, nil)
+	h.reach = append(h.reach, nil)
+	h.mark = append(h.mark, 0)
 	return nil
 }
 
@@ -51,75 +97,112 @@ func (h *History) MustAdd(l *Label) *Label {
 }
 
 // Label returns the label with the given identifier, or nil.
-func (h *History) Label(id uint64) *Label { return h.labels[id] }
+func (h *History) Label(id uint64) *Label { return h.byID[id].label }
 
 // Len returns the number of labels.
-func (h *History) Len() int { return len(h.order) }
+func (h *History) Len() int { return len(h.seq) }
 
 // Labels returns the labels in insertion order.
 func (h *History) Labels() []*Label {
-	out := make([]*Label, 0, len(h.order))
-	for _, id := range h.order {
-		out = append(out, h.labels[id])
-	}
-	return out
+	return append([]*Label(nil), h.seq...)
 }
 
 // AppendLabels appends the labels in insertion order to dst and returns the
 // extended slice. It is Labels for callers that recycle the destination
 // buffer across histories (the search engine's pooled prepare plans).
 func (h *History) AppendLabels(dst []*Label) []*Label {
-	for _, id := range h.order {
-		dst = append(dst, h.labels[id])
-	}
-	return dst
+	return append(dst, h.seq...)
 }
 
-// VisEdges calls fn once for every edge (from, to) of the (transitively
-// closed) visibility relation. The edge order is unspecified — the relation
-// is stored as adjacency maps — so callers that need determinism must sort.
-// Iterating the edge set directly is O(|vis|), where the equivalent all-pairs
-// scan over Vis is O(|L|²) regardless of how sparse the relation is.
+// VisEdges calls fn once for every edge (from, to) of the transitively closed
+// visibility relation, in rank order on both endpoints (deterministic for a
+// given history). Iterating the reachability rows is O(|vis| + n²/64), where
+// the equivalent all-pairs scan over Vis is O(n²) probes regardless of how
+// sparse the relation is.
 func (h *History) VisEdges(fn func(from, to uint64)) {
-	for _, from := range h.order {
-		for to := range h.vis[from] {
-			fn(from, to)
+	for r, row := range h.reach {
+		from := h.seq[r].ID
+		row.forEach(func(s int) {
+			fn(from, h.seq[s].ID)
+		})
+	}
+}
+
+// DirectVisEdges calls fn once for every directly inserted edge — the
+// generating set AddVis recorded, without its transitive consequences — in
+// rank order per source and edge insertion order within one source.
+// RewriteHistory transports exactly these edges; the rewritten history's own
+// index re-derives the closure.
+func (h *History) DirectVisEdges(fn func(from, to uint64)) {
+	for r, outs := range h.adjOut {
+		from := h.seq[r].ID
+		for _, s := range outs {
+			fn(from, h.seq[s].ID)
 		}
 	}
 }
 
 // AddVis records that the label with identifier from is visible to the label
-// with identifier to, and maintains transitive closure. Adding an edge that
-// would create a cycle is an error.
+// with identifier to, and maintains the reachability index. Adding an edge
+// that would create a cycle is an error; adding an edge already implied by
+// the relation is a no-op.
 func (h *History) AddVis(from, to uint64) error {
 	if from == to {
 		return fmt.Errorf("history: visibility edge %d -> %d is reflexive", from, to)
 	}
-	if _, ok := h.labels[from]; !ok {
+	fa, ok := h.byID[from]
+	if !ok {
 		return fmt.Errorf("history: unknown label %d in visibility edge", from)
 	}
-	if _, ok := h.labels[to]; !ok {
+	ta, ok := h.byID[to]
+	if !ok {
 		return fmt.Errorf("history: unknown label %d in visibility edge", to)
 	}
-	if h.Vis(to, from) {
+	rf, rt := int(fa.rank), int(ta.rank)
+	if h.reach[rt].test(rf) {
 		return fmt.Errorf("history: visibility edge %d -> %d creates a cycle", from, to)
 	}
-	// Transitive closure: predecessors of from (and from itself) become
-	// visible to successors of to (and to itself).
-	preds := append(h.predecessorIDs(from), from)
-	succs := append(h.successorIDs(to), to)
-	for _, p := range preds {
-		for _, s := range succs {
-			if p == s {
-				continue
+	if h.reach[rf].test(rt) {
+		// Already implied transitively: the closure cannot change, so the
+		// edge is not even recorded (the adjacency stays a generating set).
+		return nil
+	}
+	h.adjOut[rf] = append(h.adjOut[rf], int32(rt))
+	h.adjIn[rt] = append(h.adjIn[rt], int32(rf))
+	h.propagate(rf, rt)
+	return nil
+}
+
+// propagate folds the new edge rf -> rt into the reachability index: the
+// target's successor row (plus the target itself) is OR-ed into the source's
+// row and into every rank that reaches the source, found by walking the
+// reverse adjacency — not by scanning the whole relation. A rank whose row
+// already absorbed the delta stops the walk early: its own predecessors' rows
+// are supersets of it by the index invariant.
+func (h *History) propagate(rf, rt int) {
+	delta := h.reach[rt]
+	h.epoch++
+	stack := append(h.stack[:0], int32(rf))
+	h.mark[rf] = h.epoch
+	for len(stack) > 0 {
+		r := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		row := &h.reach[r]
+		changed := row.set(rt)
+		if row.orInto(delta) {
+			changed = true
+		}
+		if !changed {
+			continue
+		}
+		for _, p := range h.adjIn[r] {
+			if h.mark[p] != h.epoch {
+				h.mark[p] = h.epoch
+				stack = append(stack, p)
 			}
-			if h.vis[p] == nil {
-				h.vis[p] = make(map[uint64]bool)
-			}
-			h.vis[p][s] = true
 		}
 	}
-	return nil
+	h.stack = stack[:0]
 }
 
 // MustAddVis is AddVis for construction code.
@@ -130,9 +213,17 @@ func (h *History) MustAddVis(from, to uint64) {
 }
 
 // Vis reports whether the label with identifier from is visible to the label
-// with identifier to.
+// with identifier to: one bit probe of the reachability index.
 func (h *History) Vis(from, to uint64) bool {
-	return h.vis[from][to]
+	fa, ok := h.byID[from]
+	if !ok {
+		return false
+	}
+	ta, ok := h.byID[to]
+	if !ok {
+		return false
+	}
+	return h.reach[fa.rank].test(int(ta.rank))
 }
 
 // Concurrent reports whether the two labels are concurrent (neither is
@@ -141,30 +232,17 @@ func (h *History) Concurrent(a, b uint64) bool {
 	return a != b && !h.Vis(a, b) && !h.Vis(b, a)
 }
 
-func (h *History) predecessorIDs(id uint64) []uint64 {
-	var out []uint64
-	for from, tos := range h.vis {
-		if tos[id] {
-			out = append(out, from)
-		}
-	}
-	return out
-}
-
-func (h *History) successorIDs(id uint64) []uint64 {
-	var out []uint64
-	for to := range h.vis[id] {
-		out = append(out, to)
-	}
-	return out
-}
-
 // VisibleTo returns the labels visible to l (vis⁻¹(l)), in insertion order.
 func (h *History) VisibleTo(l *Label) []*Label {
+	la, ok := h.byID[l.ID]
+	if !ok {
+		return nil
+	}
+	t := int(la.rank)
 	var out []*Label
-	for _, id := range h.order {
-		if h.Vis(id, l.ID) {
-			out = append(out, h.labels[id])
+	for r := range h.seq {
+		if h.reach[r].test(t) {
+			out = append(out, h.seq[r])
 		}
 	}
 	return out
@@ -172,25 +250,35 @@ func (h *History) VisibleTo(l *Label) []*Label {
 
 // SeenBy returns the labels that see l (vis(l)), in insertion order.
 func (h *History) SeenBy(l *Label) []*Label {
-	var out []*Label
-	for _, id := range h.order {
-		if h.Vis(l.ID, id) {
-			out = append(out, h.labels[id])
-		}
+	la, ok := h.byID[l.ID]
+	if !ok {
+		return nil
 	}
+	var out []*Label
+	h.reach[la.rank].forEach(func(s int) {
+		out = append(out, h.seq[s])
+	})
 	return out
 }
 
 // IsAcyclic reports whether the visibility relation is acyclic. Histories
-// produced by the operational semantics are always acyclic; histories of
-// object compositions (Section 5.1) may in principle contain cycles, and the
-// checker rejects them.
+// produced by the operational semantics are always acyclic — AddVis rejects
+// cycles — but histories of object compositions (Section 5.1) may in
+// principle contain cycles (tests plant them directly), and the checker
+// rejects them.
 func (h *History) IsAcyclic() bool {
-	for a, tos := range h.vis {
-		for b := range tos {
-			if h.vis[b][a] {
-				return false
+	for r, row := range h.reach {
+		if row.test(r) {
+			return false
+		}
+		acyclic := true
+		row.forEach(func(s int) {
+			if h.reach[s].test(r) {
+				acyclic = false
 			}
+		})
+		if !acyclic {
+			return false
 		}
 	}
 	return true
@@ -198,43 +286,54 @@ func (h *History) IsAcyclic() bool {
 
 // Clone returns a deep copy of the history (labels are cloned).
 func (h *History) Clone() *History {
-	c := NewHistory()
-	for _, id := range h.order {
-		c.MustAdd(h.labels[id].Clone())
+	c := &History{
+		byID:   make(map[uint64]labelAt, len(h.byID)),
+		seq:    make([]*Label, len(h.seq)),
+		adjOut: make([][]int32, len(h.adjOut)),
+		adjIn:  make([][]int32, len(h.adjIn)),
+		reach:  make([]bitset, len(h.reach)),
+		mark:   make([]uint64, len(h.mark)),
 	}
-	for from, tos := range h.vis {
-		for to := range tos {
-			if c.vis[from] == nil {
-				c.vis[from] = make(map[uint64]bool)
-			}
-			c.vis[from][to] = true
+	for r, l := range h.seq {
+		cl := l.Clone()
+		c.seq[r] = cl
+		c.byID[cl.ID] = labelAt{label: cl, rank: int32(r)}
+	}
+	for r := range h.adjOut {
+		if len(h.adjOut[r]) > 0 {
+			c.adjOut[r] = append([]int32(nil), h.adjOut[r]...)
 		}
+		if len(h.adjIn[r]) > 0 {
+			c.adjIn[r] = append([]int32(nil), h.adjIn[r]...)
+		}
+		c.reach[r] = h.reach[r].clone()
 	}
 	return c
 }
 
 // Project returns the sub-history containing only the labels for which keep
-// returns true, with the visibility relation restricted accordingly.
+// returns true, with the visibility relation restricted accordingly. The
+// restriction is taken on the closure, so labels related through a dropped
+// label stay related in the projection.
 func (h *History) Project(keep func(*Label) bool) *History {
 	c := NewHistory()
-	for _, id := range h.order {
-		if keep(h.labels[id]) {
-			c.MustAdd(h.labels[id].Clone())
+	kept := make([]bool, len(h.seq))
+	for r, l := range h.seq {
+		if keep(l) {
+			kept[r] = true
+			c.MustAdd(l.Clone())
 		}
 	}
-	for from, tos := range h.vis {
-		if c.labels[from] == nil {
+	for r, row := range h.reach {
+		if !kept[r] {
 			continue
 		}
-		for to := range tos {
-			if c.labels[to] == nil {
-				continue
+		from := h.seq[r].ID
+		row.forEach(func(s int) {
+			if kept[s] {
+				c.MustAddVis(from, h.seq[s].ID)
 			}
-			if c.vis[from] == nil {
-				c.vis[from] = make(map[uint64]bool)
-			}
-			c.vis[from][to] = true
-		}
+		})
 	}
 	return c
 }
@@ -247,7 +346,7 @@ func (h *History) ProjectObject(object string) *History {
 // Objects returns the distinct object names appearing in the history, sorted.
 func (h *History) Objects() []string {
 	set := map[string]bool{}
-	for _, l := range h.Labels() {
+	for _, l := range h.seq {
 		set[l.Object] = true
 	}
 	out := make([]string, 0, len(set))
@@ -265,11 +364,18 @@ func (h *History) HistoryTimestamp(l *Label) clock.Timestamp {
 	if !l.TS.IsBottom() {
 		return l.TS
 	}
-	// The visibility relation is transitively closed, so the maximum over the
-	// direct predecessors' own timestamps is the maximum over the whole past.
+	// The reachability index is transitively closed, so the maximum over the
+	// predecessors' own timestamps is the maximum over the whole past.
 	max := clock.Bottom
-	for _, p := range h.VisibleTo(l) {
-		max = max.Max(p.TS)
+	la, ok := h.byID[l.ID]
+	if !ok {
+		return max
+	}
+	t := int(la.rank)
+	for r := range h.seq {
+		if h.reach[r].test(t) {
+			max = max.Max(h.seq[r].TS)
+		}
 	}
 	return max
 }
@@ -284,7 +390,7 @@ func (h *History) ConsistentWithVis(seq []*Label) error {
 	}
 	pos := make(map[uint64]int, len(seq))
 	for i, l := range seq {
-		if h.labels[l.ID] == nil {
+		if h.byID[l.ID].label == nil {
 			return fmt.Errorf("sequence label %v not in history", l)
 		}
 		if _, dup := pos[l.ID]; dup {
@@ -292,12 +398,16 @@ func (h *History) ConsistentWithVis(seq []*Label) error {
 		}
 		pos[l.ID] = i
 	}
-	for from, tos := range h.vis {
-		for to := range tos {
-			if pos[from] > pos[to] {
-				return fmt.Errorf("sequence orders %v before %v against visibility",
-					h.labels[to], h.labels[from])
+	for r, row := range h.reach {
+		from := h.seq[r]
+		var bad *Label
+		row.forEach(func(s int) {
+			if bad == nil && pos[from.ID] > pos[h.seq[s].ID] {
+				bad = h.seq[s]
 			}
+		})
+		if bad != nil {
+			return fmt.Errorf("sequence orders %v before %v against visibility", bad, from)
 		}
 	}
 	return nil
@@ -307,8 +417,7 @@ func (h *History) ConsistentWithVis(seq []*Label) error {
 // predecessors, in insertion order.
 func (h *History) String() string {
 	var b strings.Builder
-	for _, id := range h.order {
-		l := h.labels[id]
+	for _, l := range h.seq {
 		fmt.Fprintf(&b, "%-4d %s  (origin %s", l.ID, l, l.Origin)
 		preds := h.VisibleTo(l)
 		if len(preds) > 0 {

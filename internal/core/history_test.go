@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -152,6 +154,338 @@ func TestConsistentWithVis(t *testing.T) {
 	other := mkLabel(9, "x", KindUpdate)
 	if err := h.ConsistentWithVis([]*Label{a, b, other}); err == nil {
 		t.Fatal("foreign label must be rejected")
+	}
+}
+
+// legacyVisOracle is the History representation this package used before the
+// rank/bitset reachability index: labels in insertion order plus the
+// visibility relation stored eagerly transitively closed as map-of-maps,
+// with AddVis rescanning the full relation per inserted edge. It is kept
+// verbatim — same closure maintenance, same error messages — as the
+// differential oracle for the closure-free representation, and lives only in
+// the test binary.
+type legacyVisOracle struct {
+	labels map[uint64]*Label
+	order  []uint64
+	vis    map[uint64]map[uint64]bool
+}
+
+func newLegacyVisOracle() *legacyVisOracle {
+	return &legacyVisOracle{
+		labels: make(map[uint64]*Label),
+		vis:    make(map[uint64]map[uint64]bool),
+	}
+}
+
+func (o *legacyVisOracle) add(l *Label) error {
+	if l == nil {
+		return fmt.Errorf("history: nil label")
+	}
+	if _, ok := o.labels[l.ID]; ok {
+		return fmt.Errorf("history: duplicate label id %d", l.ID)
+	}
+	o.labels[l.ID] = l
+	o.order = append(o.order, l.ID)
+	return nil
+}
+
+func (o *legacyVisOracle) addVis(from, to uint64) error {
+	if from == to {
+		return fmt.Errorf("history: visibility edge %d -> %d is reflexive", from, to)
+	}
+	if _, ok := o.labels[from]; !ok {
+		return fmt.Errorf("history: unknown label %d in visibility edge", from)
+	}
+	if _, ok := o.labels[to]; !ok {
+		return fmt.Errorf("history: unknown label %d in visibility edge", to)
+	}
+	if o.visible(to, from) {
+		return fmt.Errorf("history: visibility edge %d -> %d creates a cycle", from, to)
+	}
+	preds := append(o.predecessorIDs(from), from)
+	succs := append(o.successorIDs(to), to)
+	for _, p := range preds {
+		for _, s := range succs {
+			if p == s {
+				continue
+			}
+			if o.vis[p] == nil {
+				o.vis[p] = make(map[uint64]bool)
+			}
+			o.vis[p][s] = true
+		}
+	}
+	return nil
+}
+
+func (o *legacyVisOracle) predecessorIDs(id uint64) []uint64 {
+	var out []uint64
+	for from, tos := range o.vis {
+		if tos[id] {
+			out = append(out, from)
+		}
+	}
+	return out
+}
+
+func (o *legacyVisOracle) successorIDs(id uint64) []uint64 {
+	var out []uint64
+	for to := range o.vis[id] {
+		out = append(out, to)
+	}
+	return out
+}
+
+func (o *legacyVisOracle) visible(from, to uint64) bool { return o.vis[from][to] }
+
+func (o *legacyVisOracle) concurrent(a, b uint64) bool {
+	return a != b && !o.visible(a, b) && !o.visible(b, a)
+}
+
+// visibleTo returns vis⁻¹(id) in insertion order, seenBy vis(id) likewise —
+// the identifier projections of the History methods they mirror.
+func (o *legacyVisOracle) visibleTo(id uint64) []uint64 {
+	var out []uint64
+	for _, from := range o.order {
+		if o.visible(from, id) {
+			out = append(out, from)
+		}
+	}
+	return out
+}
+
+func (o *legacyVisOracle) seenBy(id uint64) []uint64 {
+	var out []uint64
+	for _, to := range o.order {
+		if o.visible(id, to) {
+			out = append(out, to)
+		}
+	}
+	return out
+}
+
+func (o *legacyVisOracle) visEdges() map[[2]uint64]bool {
+	out := make(map[[2]uint64]bool)
+	for from, tos := range o.vis {
+		for to := range tos {
+			out[[2]uint64{from, to}] = true
+		}
+	}
+	return out
+}
+
+// assertMatchesOracle compares every visibility query of h against the
+// map-closure oracle: Vis and Concurrent over all ordered pairs (including
+// identifiers outside the history), VisibleTo/SeenBy sequences per label,
+// and the VisEdges edge set (which must also be duplicate-free).
+func assertMatchesOracle(t *testing.T, h *History, o *legacyVisOracle) {
+	t.Helper()
+	if h.Len() != len(o.order) {
+		t.Fatalf("label count diverged: %d vs %d", h.Len(), len(o.order))
+	}
+	probe := append(append([]uint64(nil), o.order...), 0, ^uint64(0))
+	for _, a := range probe {
+		for _, b := range probe {
+			if got, want := h.Vis(a, b), o.visible(a, b); got != want {
+				t.Fatalf("Vis(%d, %d) = %v, oracle %v\n%s", a, b, got, want, h)
+			}
+			if got, want := h.Concurrent(a, b), o.concurrent(a, b); got != want {
+				t.Fatalf("Concurrent(%d, %d) = %v, oracle %v", a, b, got, want)
+			}
+		}
+	}
+	for _, id := range o.order {
+		l := h.Label(id)
+		if l == nil {
+			t.Fatalf("label %d missing", id)
+		}
+		if got, want := labelIDs(h.VisibleTo(l)), o.visibleTo(id); !equalIDs(got, want) {
+			t.Fatalf("VisibleTo(%d) = %v, oracle %v", id, got, want)
+		}
+		if got, want := labelIDs(h.SeenBy(l)), o.seenBy(id); !equalIDs(got, want) {
+			t.Fatalf("SeenBy(%d) = %v, oracle %v", id, got, want)
+		}
+	}
+	want := o.visEdges()
+	got := make(map[[2]uint64]bool, len(want))
+	h.VisEdges(func(from, to uint64) {
+		e := [2]uint64{from, to}
+		if got[e] {
+			t.Fatalf("VisEdges emitted %v twice", e)
+		}
+		got[e] = true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("VisEdges emitted %d edges, oracle closure has %d", len(got), len(want))
+	}
+	for e := range want {
+		if !got[e] {
+			t.Fatalf("VisEdges missed closure edge %v", e)
+		}
+	}
+	if !h.IsAcyclic() {
+		t.Fatal("AddVis-built history must be acyclic")
+	}
+}
+
+func labelIDs(ls []*Label) []uint64 {
+	out := make([]uint64, len(ls))
+	for i, l := range ls {
+		out[i] = l.ID
+	}
+	return out
+}
+
+func equalIDs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// applyEdgeDifferential feeds one AddVis to both representations and asserts
+// they return the same verdict (nil, or the identical error message).
+func applyEdgeDifferential(t *testing.T, h *History, o *legacyVisOracle, from, to uint64) {
+	t.Helper()
+	errNew := h.AddVis(from, to)
+	errOld := o.addVis(from, to)
+	switch {
+	case errNew == nil && errOld == nil:
+	case errNew != nil && errOld != nil && errNew.Error() == errOld.Error():
+	default:
+		t.Fatalf("AddVis(%d, %d) verdicts diverged: bitset %v, oracle %v", from, to, errNew, errOld)
+	}
+}
+
+// TestHistoryBitsetMatchesLegacyOracle drives the rank/bitset index and the
+// map-closure oracle through random DAG edge sequences of characteristic
+// shapes — dense layered DAGs, sparse pairs, chains, fan-in, fan-out, and
+// unrestricted random pairs that also exercise reflexive, unknown-label and
+// cycle errors — asserting every query agrees after every insertion round.
+func TestHistoryBitsetMatchesLegacyOracle(t *testing.T) {
+	type shape struct {
+		name  string
+		edges func(rng *rand.Rand, n int) [][2]uint64
+	}
+	shapes := []shape{
+		{"dense", func(rng *rand.Rand, n int) [][2]uint64 {
+			var es [][2]uint64
+			for i := 2; i <= n; i++ {
+				for j := 1; j < i; j++ {
+					if rng.Intn(2) == 0 {
+						es = append(es, [2]uint64{uint64(j), uint64(i)})
+					}
+				}
+			}
+			return es
+		}},
+		{"sparse", func(rng *rand.Rand, n int) [][2]uint64 {
+			var es [][2]uint64
+			for i := 1; i+1 <= n; i += 2 {
+				es = append(es, [2]uint64{uint64(i), uint64(i + 1)})
+			}
+			return es
+		}},
+		{"chain", func(rng *rand.Rand, n int) [][2]uint64 {
+			var es [][2]uint64
+			for i := 1; i < n; i++ {
+				es = append(es, [2]uint64{uint64(i), uint64(i + 1)})
+			}
+			return es
+		}},
+		{"fan-in", func(rng *rand.Rand, n int) [][2]uint64 {
+			var es [][2]uint64
+			for i := 1; i < n; i++ {
+				es = append(es, [2]uint64{uint64(i), uint64(n)})
+			}
+			return es
+		}},
+		{"fan-out", func(rng *rand.Rand, n int) [][2]uint64 {
+			var es [][2]uint64
+			for i := 2; i <= n; i++ {
+				es = append(es, [2]uint64{1, uint64(i)})
+			}
+			return es
+		}},
+		{"random", func(rng *rand.Rand, n int) [][2]uint64 {
+			var es [][2]uint64
+			for k := 0; k < 4*n; k++ {
+				// Ids beyond n exercise unknown-label errors; unordered pairs
+				// exercise the cycle check from both sides.
+				es = append(es, [2]uint64{uint64(rng.Intn(n + 2)), uint64(rng.Intn(n + 2))})
+			}
+			return es
+		}},
+	}
+	for _, s := range shapes {
+		t.Run(s.name, func(t *testing.T) {
+			for seed := int64(0); seed < 8; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				n := 3 + rng.Intn(14)
+				h := NewHistory()
+				o := newLegacyVisOracle()
+				for i := 1; i <= n; i++ {
+					l := mkLabel(uint64(i), "op", KindUpdate)
+					h.MustAdd(l)
+					if err := o.add(l); err != nil {
+						t.Fatal(err)
+					}
+				}
+				edges := s.edges(rng, n)
+				rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+				for k, e := range edges {
+					applyEdgeDifferential(t, h, o, e[0], e[1])
+					// Full-query comparison every few edges and at the end —
+					// per-edge on the last one so divergence is caught at the
+					// smallest counterexample.
+					if k%5 == 4 || k == len(edges)-1 {
+						assertMatchesOracle(t, h, o)
+					}
+				}
+				assertMatchesOracle(t, h, o)
+			}
+		})
+	}
+}
+
+// TestHistoryCloneProjectMatchOracle covers the derived constructors: clones
+// must preserve the exact closure, and projections must restrict the closure
+// (keeping paths through dropped labels).
+func TestHistoryCloneProjectMatchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(10)
+		h := NewHistory()
+		o := newLegacyVisOracle()
+		for i := 1; i <= n; i++ {
+			l := &Label{ID: uint64(i), Method: "op", Kind: KindUpdate, GenSeq: uint64(i), Object: []string{"o1", "o2"}[i%2]}
+			h.MustAdd(l)
+			if err := o.add(l); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 2; i <= n; i++ {
+			for j := 1; j < i; j++ {
+				if rng.Intn(3) == 0 {
+					applyEdgeDifferential(t, h, o, uint64(j), uint64(i))
+				}
+			}
+		}
+		assertMatchesOracle(t, h.Clone(), o)
+		p := h.ProjectObject("o1")
+		for a := uint64(1); a <= uint64(n); a++ {
+			for b := uint64(1); b <= uint64(n); b++ {
+				inP := p.Label(a) != nil && p.Label(b) != nil
+				if got, want := p.Vis(a, b), inP && o.visible(a, b); got != want {
+					t.Fatalf("projected Vis(%d, %d) = %v, oracle restriction %v", a, b, got, want)
+				}
+			}
+		}
 	}
 }
 

@@ -45,6 +45,17 @@ func TestLinearExtensionsSingleLabel(t *testing.T) {
 	}
 }
 
+// plantVisUnchecked inserts a visibility edge directly into the history's
+// adjacency and reachability index, bypassing AddVis's cycle check and
+// closure propagation. Test-only: it lets tests build the cyclic relations
+// AddVis rejects.
+func plantVisUnchecked(h *History, from, to uint64) {
+	rf, rt := h.byID[from].rank, h.byID[to].rank
+	h.adjOut[rf] = append(h.adjOut[rf], rt)
+	h.adjIn[rt] = append(h.adjIn[rt], rf)
+	h.reach[rf].set(int(rt))
+}
+
 // cyclicHistory builds a two-label history whose visibility relation is a
 // cycle. AddVis rejects cycles, so the relation is planted directly — the
 // checker must still reject such histories (they can in principle arise from
@@ -53,8 +64,8 @@ func cyclicHistory() *History {
 	h := NewHistory()
 	h.MustAdd(mkLabel(1, "inc", KindUpdate))
 	h.MustAdd(mkLabel(2, "inc", KindUpdate))
-	h.vis[1] = map[uint64]bool{2: true}
-	h.vis[2] = map[uint64]bool{1: true}
+	plantVisUnchecked(h, 1, 2)
+	plantVisUnchecked(h, 2, 1)
 	return h
 }
 

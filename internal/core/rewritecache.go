@@ -38,17 +38,50 @@ type rewriteEntry struct {
 	rew   *RewrittenHistory
 }
 
+// RewritingTokener is an optional interface for rewritings that cannot be
+// compared as values — RewriteFunc-style closures, rewritings carrying
+// slices or maps — but still want RewriteCache hits across the checks of a
+// session. RewritingToken must return a comparable value identifying the
+// rewriting's semantics: two rewritings returning equal tokens (and sharing
+// a dynamic type) are served each other's cached γ(h), so captured state
+// that changes the rewriting's output must be part of the token. Returning
+// nil opts out of caching for this value (the RewriteFunc default).
+type RewritingTokener interface {
+	Rewriting
+	// RewritingToken returns a comparable semantic identity, or nil to
+	// bypass the cache.
+	RewritingToken() any
+}
+
+// explicitToken wraps a RewritingTokener's token together with the
+// rewriting's dynamic type, so an explicit token can never collide with the
+// value identity of a comparable rewriting type, or with an equal token
+// returned by a rewriting of a different type.
+type explicitToken struct {
+	rtype reflect.Type
+	token any
+}
+
 // rewritingToken derives a comparable identity for a rewriting, so the cache
-// can tell "same γ again" from "different γ for the same history". Only
-// rewritings of comparable types get one: their value is the identity (the
-// descriptor rewritings are zero-size named types, composed rewritings carry
-// their *System). Function-typed rewritings (RewriteFunc) have no usable
-// identity — a code pointer would alias closures over the same body whose
-// captured state differs, which is exactly how composed-system rewritings
-// used to be built — so they report ok=false and bypass the cache entirely.
+// can tell "same γ again" from "different γ for the same history".
+// Rewritings implementing RewritingTokener choose their own identity (nil
+// opts out). Otherwise only rewritings of comparable types get one: their
+// value is the identity (the descriptor rewritings are zero-size named
+// types, composed rewritings carry their *System). Function-typed rewritings
+// (RewriteFunc) have no usable implicit identity — a code pointer would
+// alias closures over the same body whose captured state differs, which is
+// exactly how composed-system rewritings used to be built — so without an
+// explicit token they report ok=false and bypass the cache entirely.
 func rewritingToken(g Rewriting) (any, bool) {
 	if g == nil {
 		return nil, true
+	}
+	if tr, ok := g.(RewritingTokener); ok {
+		tok := tr.RewritingToken()
+		if tok == nil {
+			return nil, false
+		}
+		return explicitToken{rtype: reflect.TypeOf(g), token: tok}, true
 	}
 	if t := reflect.TypeOf(g); t.Comparable() {
 		return g, true

@@ -85,7 +85,7 @@ func RewriteHistory(h *History, g Rewriting) (*RewrittenHistory, error) {
 		// rewritten batch check. Query-updates are still rejected exactly
 		// like IdentityRewriting would, walking insertion order so the error
 		// deterministically names the first offending label. The scan uses
-		// the internal order slice directly — h.Labels() would copy the
+		// the internal rank slice directly — h.Labels() would copy the
 		// whole label slice on a path whose point is paying nothing per
 		// history.
 		//
@@ -101,8 +101,7 @@ func RewriteHistory(h *History, g Rewriting) (*RewrittenHistory, error) {
 		// cloned runs byte-identical on every input.
 		monotone := true
 		var prev uint64
-		for k, id := range h.order {
-			l := h.labels[id]
+		for k, l := range h.seq {
 			if l.IsQueryUpdate() {
 				return nil, fmt.Errorf("rewrite %v: query-update must map to a (query, update) pair", l)
 			}
@@ -117,9 +116,10 @@ func RewriteHistory(h *History, g Rewriting) (*RewrittenHistory, error) {
 			return &RewrittenHistory{History: h}, nil
 		}
 	}
-	out := &RewrittenHistory{History: NewHistory(), images: make(map[uint64]rewrittenPair)}
+	out := &RewrittenHistory{History: NewHistory(), images: make(map[uint64]rewrittenPair, len(h.seq))}
+	out.History.reserve(2 * len(h.seq))
 	var nextID uint64
-	for _, l := range h.Labels() {
+	for _, l := range h.seq {
 		imgs, err := g.Rewrite(l)
 		if err != nil {
 			return nil, fmt.Errorf("rewrite %v: %w", l, err)
@@ -171,33 +171,30 @@ func RewriteHistory(h *History, g Rewriting) (*RewrittenHistory, error) {
 			return nil, fmt.Errorf("rewrite %v: image must have one or two labels, got %d", l, len(imgs))
 		}
 	}
-	// Transport the visibility relation: (ℓ, ℓ') ∈ vis becomes
-	// (upd(γ(ℓ)), qry(γ(ℓ'))) ∈ vis'. The relation's actual edge set is
-	// walked directly — the previous all-pairs loop called Vis for every
-	// ordered label pair, which is Θ(n²) map probes even on a history whose
-	// relation is nearly empty. Successor sets are map-backed, so each one is
-	// buffered and sorted to keep the transport (and any error it surfaces)
-	// deterministic; the sort is O(|vis| log n), negligible against the
-	// transitive-closure maintenance inside AddVis.
-	var tos []uint64
-	for _, fromID := range h.order {
-		succ := h.vis[fromID]
-		if len(succ) == 0 {
+	// Transport the visibility relation: only the DIRECT edges move — for
+	// (ℓ, ℓ') directly inserted, (upd(γ(ℓ)), qry(γ(ℓ'))) is inserted into
+	// vis', whose own reachability index re-derives the closure. Transporting
+	// the closure edge by edge (the previous representation's only option —
+	// it stored nothing else) made the transport itself Θ(|vis⁺|) AddVis
+	// calls; the generating set is what the original construction actually
+	// inserted, typically Θ(n). The closures agree because every transitive
+	// source path ℓ → ℓ₁ → … → ℓ' transports to a vis' path through the
+	// per-pair qry→upd edges added above. Target ranks are sorted per source
+	// so the transport (and any error it surfaces) is deterministic for a
+	// given history.
+	var tos []int32
+	for rf, outs := range h.adjOut {
+		if len(outs) == 0 {
 			continue
 		}
-		tos = tos[:0]
-		for to := range succ {
-			tos = append(tos, to)
-		}
+		tos = append(tos[:0], outs...)
 		slices.Sort(tos)
-		updFrom := out.images[fromID].upd
-		for _, toID := range tos {
-			qryTo := out.images[toID].qry
-			if out.History.Vis(updFrom, qryTo) {
-				continue
-			}
-			if err := out.History.AddVis(updFrom, qryTo); err != nil {
-				return nil, fmt.Errorf("rewrite visibility %v -> %v: %w", h.labels[fromID], h.labels[toID], err)
+		from := h.seq[rf]
+		updFrom := out.images[from.ID].upd
+		for _, rt := range tos {
+			to := h.seq[rt]
+			if err := out.History.AddVis(updFrom, out.images[to.ID].qry); err != nil {
+				return nil, fmt.Errorf("rewrite visibility %v -> %v: %w", from, to, err)
 			}
 		}
 	}
@@ -208,9 +205,9 @@ func RewriteHistory(h *History, g Rewriting) (*RewrittenHistory, error) {
 // number. Only called on the nil-rewriting fast path after the cheap
 // monotonicity scan failed, so the map is off the common path.
 func hasGenSeqTie(h *History) bool {
-	seen := make(map[uint64]struct{}, len(h.order))
-	for _, id := range h.order {
-		gs := h.labels[id].GenSeq
+	seen := make(map[uint64]struct{}, len(h.seq))
+	for _, l := range h.seq {
+		gs := l.GenSeq
 		if _, dup := seen[gs]; dup {
 			return true
 		}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"ralin/internal/core"
@@ -160,6 +161,73 @@ func TestBatchPolarityDifferentialAllDescriptors(t *testing.T) {
 		if fresh.RewriteHits != 0 {
 			t.Errorf("%s: fresh runs must not hit a rewrite cache", d.Name)
 		}
+	}
+}
+
+// TestHistoryQueryRaceWithBatchRecheck pins the History concurrency
+// contract the closure-free representation documents: Vis/Concurrent/
+// VisibleTo/SeenBy/VisEdges are read-only and safe to issue from parallel
+// search workers while a shared-session batch re-checks the very same
+// history objects (rewrite cache, plan pool, inner parallel searches). CI
+// runs the suite under -race, which turns any hidden mutation — scratch
+// reuse inside a query, lazily grown index rows — into a failure here.
+func TestHistoryQueryRaceWithBatchRecheck(t *testing.T) {
+	d, err := registry.Lookup("OR-Set")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hs []*core.History
+	for trial := 0; trial < 4; trial++ {
+		cfg := WorkloadConfig{Seed: int64(trial*977 + 5), Ops: 6, Replicas: 3, Elems: []string{"a", "b"}, DeliveryProb: 40}
+		h, err := RunRandom(d, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs = append(hs, h)
+	}
+	// Duplicate the batch so the shared session re-checks each history (the
+	// rewrite cache's hit case) while the query hammers below keep reading it.
+	batch := append(append([]*core.History(nil), hs...), hs...)
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				h := hs[(w+i)%len(hs)]
+				labels := h.Labels()
+				for _, a := range labels {
+					for _, b := range labels {
+						h.Vis(a.ID, b.ID)
+						h.Concurrent(a.ID, b.ID)
+					}
+					h.VisibleTo(a)
+					h.SeenBy(a)
+				}
+				h.VisEdges(func(from, to uint64) {})
+			}
+		}(w)
+	}
+
+	check := d.CheckOptions()
+	check.Strategies = nil // force the engine so parallel workers read the history plans
+	check.Parallelism = 2
+	check.DebugMemo = true
+	out, err := CheckHistoryBatch(d.Name, d.Spec, check, batch, BatchOptions{Workers: 4})
+	close(done)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.OK() {
+		t.Fatalf("OR-Set histories must stay RA-linearizable under concurrent queries: %+v", out)
 	}
 }
 

@@ -3,6 +3,7 @@ package runtime
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"sort"
 
 	"ralin/internal/clock"
@@ -60,6 +61,14 @@ type System struct {
 	effectors map[uint64]Effector
 	genSeq    uint64
 	events    []Event
+	// visScratch buffers the seen-set of the invoking replica so the
+	// visibility edges of each new label are inserted in descending
+	// identifier order: the maximal seen operations go in first and the
+	// history's reachability index reduces every edge they imply to a single
+	// bit probe (AddVis skips transitively implied edges). Sorting also makes
+	// the recorded direct adjacency deterministic where map iteration order
+	// is not.
+	visScratch []uint64
 }
 
 // NewSystem creates a simulated deployment of the given operation-based CRDT.
@@ -131,11 +140,10 @@ func (s *System) Invoke(r clock.ReplicaID, method string, args ...core.Value) (*
 	if err := s.hist.Add(l); err != nil {
 		return nil, err
 	}
-	for id := range rep.seen {
-		if !s.hist.Vis(id, l.ID) {
-			if err := s.hist.AddVis(id, l.ID); err != nil {
-				return nil, err
-			}
+	s.visScratch = AppendSeenDescending(s.visScratch[:0], rep.seen)
+	for _, id := range s.visScratch {
+		if err := s.hist.AddVis(id, l.ID); err != nil {
+			return nil, err
 		}
 	}
 	pre := rep.state
@@ -155,6 +163,22 @@ func (s *System) Invoke(r clock.ReplicaID, method string, args ...core.Value) (*
 		})
 	}
 	return l, nil
+}
+
+// AppendSeenDescending appends the identifiers of seen to dst in descending
+// order. Identifiers increase monotonically with generation, so descending
+// order visits the latest — most likely vis-maximal — seen operations first:
+// once their edges are in, History.AddVis disposes of every edge they imply
+// with a single reachability bit probe. Allocation-free given capacity in
+// dst; shared with the composed-system runtime, which inserts seen-set
+// edges the same way.
+func AppendSeenDescending(dst []uint64, seen map[uint64]bool) []uint64 {
+	for id := range seen {
+		dst = append(dst, id)
+	}
+	slices.Sort(dst)
+	slices.Reverse(dst)
+	return dst
 }
 
 // MustInvoke is Invoke for scripted scenarios where a precondition failure is

@@ -37,6 +37,10 @@ type SBSystem struct {
 	genSeq   uint64
 	nextMsg  uint64
 	events   []Event
+	// visScratch plays the same role as System.visScratch: seen-set edges are
+	// inserted in descending identifier order so the reachability index skips
+	// the implied ones with one bit probe each.
+	visScratch []uint64
 }
 
 // NewSBSystem creates a simulated deployment of the given state-based CRDT.
@@ -103,11 +107,10 @@ func (s *SBSystem) Invoke(r clock.ReplicaID, method string, args ...core.Value) 
 	if err := s.hist.Add(l); err != nil {
 		return nil, err
 	}
-	for id := range rep.seen {
-		if !s.hist.Vis(id, l.ID) {
-			if err := s.hist.AddVis(id, l.ID); err != nil {
-				return nil, err
-			}
+	s.visScratch = AppendSeenDescending(s.visScratch[:0], rep.seen)
+	for _, id := range s.visScratch {
+		if err := s.hist.AddVis(id, l.ID); err != nil {
+			return nil, err
 		}
 	}
 	pre := rep.state

@@ -171,9 +171,9 @@ func nodeBudget(opts core.CheckOptions) int64 {
 type prepared struct {
 	labels []*core.Label
 	// preds[i] / succs[i] are the (transitive) visibility predecessors and
-	// successors of labels[i], as indices. Entry order within one adjacency
-	// list is unspecified (the edges come straight off the relation's
-	// adjacency maps); the search only ever counts and iterates them.
+	// successors of labels[i], as indices. Entries arrive in rank order
+	// (History.VisEdges iterates the reachability bitsets deterministically);
+	// the search only ever counts and iterates them.
 	preds [][]int
 	succs [][]int
 	// affected[i] lists, for an update labels[i], the indices of the queries
@@ -192,9 +192,9 @@ type prepared struct {
 
 // build populates the plan for h, reusing the backing arrays of whatever
 // check used this plan before. The visibility indexes are filled from the
-// relation's actual edge set (core.History.VisEdges) — one pass over |vis|
-// edges — instead of per-label VisibleTo/SeenBy scans, which allocate two
-// fresh slices per label and probe all n² ordered pairs.
+// relation's closure edge set (core.History.VisEdges, one bitset sweep over
+// the reachability index) instead of per-label VisibleTo/SeenBy scans, which
+// allocate two fresh slices per label and probe all n² ordered pairs.
 func (p *prepared) build(h *core.History, strong bool) error {
 	p.labels = h.AppendLabels(p.labels[:0])
 	labels := p.labels

@@ -214,6 +214,50 @@ func TestSessionRewriteCache(t *testing.T) {
 	}
 }
 
+// tokenedRewriting is a func-backed (non-comparable) rewriting opting into
+// the cache via core.RewritingTokener; token carries the semantic identity.
+type tokenedRewriting struct {
+	fn    core.RewriteFunc
+	token string
+}
+
+func (r tokenedRewriting) Rewrite(l *core.Label) ([]*core.Label, error) { return r.fn(l) }
+func (r tokenedRewriting) RewritingToken() any                          { return r.token }
+
+// TestSessionRewriteCacheTokenedClosure is the cache-hit counterpart of the
+// closure-bypass assertions above: a RewriteFunc-style rewriting that
+// implements RewritingToken is cached across checks — even across distinct
+// closure values — as long as the tokens agree, and distinct tokens still
+// miss.
+func TestSessionRewriteCacheTokenedClosure(t *testing.T) {
+	sess := NewSession()
+	h := concurrentIncsHistory(5, 5)
+	mk := func(token string) core.Rewriting {
+		// A fresh closure per call: only the token can make these hit.
+		return tokenedRewriting{fn: func(l *core.Label) ([]*core.Label, error) {
+			return []*core.Label{l.Clone()}, nil
+		}, token: token}
+	}
+	opts := core.CheckOptions{Rewriting: mk("γ"), Exhaustive: true, Parallelism: 1}
+	first := core.CheckRAWith(h, spec.Counter{}, opts, sess)
+	if !first.OK || first.RewriteCached {
+		t.Fatalf("first tokened check must derive the rewriting: %+v", first)
+	}
+	opts.Rewriting = mk("γ")
+	second := core.CheckRAWith(h, spec.Counter{}, opts, sess)
+	if !second.OK || !second.RewriteCached {
+		t.Fatalf("equal-token closure must hit the rewrite cache: %+v", second)
+	}
+	if first.Rewritten != second.Rewritten {
+		t.Fatal("tokened cache hit must serve the stored rewriting")
+	}
+	opts.Rewriting = mk("δ")
+	third := core.CheckRAWith(h, spec.Counter{}, opts, sess)
+	if third.RewriteCached {
+		t.Fatalf("a different token must miss the cache: %+v", third)
+	}
+}
+
 // TestDebugMemoDetectsCollision pins the debug memo invariant at the table
 // level: re-claiming a key with the tuple it was stored under is a normal
 // duplicate, re-claiming it with a different tuple — a hash collision — must
