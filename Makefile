@@ -7,7 +7,7 @@ GO ?= go
 # and reported but would gate on the host's core count, not the code. The
 # gate fails on a >1% allocs/op increase and (same-CPU runs, NS_THRESHOLD>0)
 # on a >$(NS_THRESHOLD)% ns/op regression vs the committed BENCH_results.json.
-BENCH_GATE_PATTERN = BenchmarkEngineNonLinearizable|BenchmarkBatchCheckRandomHistories|BenchmarkBatchRefutations|BenchmarkSessionRecheck
+BENCH_GATE_PATTERN = BenchmarkEngineNonLinearizable|BenchmarkBatchCheckRandomHistories|BenchmarkBatchRefutations|BenchmarkSessionRecheck|BenchmarkScenarioCorpus
 NS_THRESHOLD ?= 25
 # NS_BASELINE optionally names a second, same-runner baseline JSON (the CI
 # cache regenerated on every merge to main): when set, bench-gate runs an
@@ -17,7 +17,7 @@ NS_THRESHOLD ?= 25
 NS_BASELINE ?=
 NS_BASELINE_THRESHOLD ?= 25
 
-.PHONY: build test bench bench-json bench-gate bench-ns-baseline lint fmt
+.PHONY: build test bench bench-json bench-gate bench-ns-baseline scenarios lint fmt
 
 build:
 	$(GO) build ./...
@@ -74,6 +74,16 @@ bench-ns-baseline:
 	$(GO) run ./cmd/ralin-bench2json < bench-ns-raw.txt > bench-ns-baseline.json
 	@rm -f bench-ns-raw.txt
 	@echo "wrote bench-ns-baseline.json"
+
+# Re-harvest the committed scenario corpus (testdata/corpus/): run every
+# named fault-schedule scenario for 40 trials and keep the 2 most interesting
+# histories each (refutations first, then highest node count). The harvest is
+# deterministic for a fixed seed, so this only changes the tree when the
+# scenario library or the workload generators change — review the diff before
+# committing, since corpus_test.go and BenchmarkScenarioCorpus replay these
+# files as a regression set.
+scenarios:
+	$(GO) run ./cmd/ralin-scenario -all -harvest testdata/corpus -trials 40 -keep 2
 
 lint:
 	$(GO) vet ./...

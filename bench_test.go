@@ -15,18 +15,20 @@ import (
 	"ralin/internal/crdt"
 	"ralin/internal/crdt/registry"
 	"ralin/internal/harness"
+	"ralin/internal/scenario"
 	"ralin/internal/search"
 	"ralin/internal/spec"
 	"ralin/internal/verify"
 )
 
-// benchExperiment re-runs one figure reproduction per iteration and fails the
-// benchmark if the reproduction stops matching the paper.
-func benchExperiment(b *testing.B, run func() harness.Experiment) {
+// benchExperiment re-runs one figure reproduction per iteration (under the
+// default checker options) and fails the benchmark if the reproduction stops
+// matching the paper.
+func benchExperiment(b *testing.B, run func(harness.Options) harness.Experiment) {
 	b.Helper()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if e := run(); !e.OK {
+		if e := run(harness.Options{}); !e.OK {
 			b.Fatalf("experiment %s no longer reproduces", e.ID)
 		}
 	}
@@ -235,12 +237,12 @@ func BenchmarkBatchCheckRandomHistories(b *testing.B) {
 	const trials = 32
 	variants := []struct {
 		name  string
-		batch harness.BatchOptions
+		batch harness.Options
 	}{
-		{"fresh/w1", harness.BatchOptions{Workers: 1, FreshSessions: true, Check: &check}},
-		{"fresh/w4", harness.BatchOptions{Workers: 4, FreshSessions: true, Check: &check}},
-		{"shared/w1", harness.BatchOptions{Workers: 1, Check: &check}},
-		{"shared/w4", harness.BatchOptions{Workers: 4, Check: &check}},
+		{"fresh/w1", harness.Options{BatchWorkers: 1, FreshSessions: true, Check: &check}},
+		{"fresh/w4", harness.Options{BatchWorkers: 4, FreshSessions: true, Check: &check}},
+		{"shared/w1", harness.Options{BatchWorkers: 1, Check: &check}},
+		{"shared/w4", harness.Options{BatchWorkers: 4, Check: &check}},
 	}
 	for _, v := range variants {
 		v := v
@@ -274,11 +276,11 @@ func BenchmarkBatchRefutations(b *testing.B) {
 	opts := core.CheckOptions{Exhaustive: true, Parallelism: 1}
 	variants := []struct {
 		name  string
-		batch harness.BatchOptions
+		batch harness.Options
 	}{
-		{"fresh/w1", harness.BatchOptions{Workers: 1, FreshSessions: true}},
-		{"shared/w1", harness.BatchOptions{Workers: 1}},
-		{"shared/w4", harness.BatchOptions{Workers: 4}},
+		{"fresh/w1", harness.Options{BatchWorkers: 1, FreshSessions: true}},
+		{"shared/w1", harness.Options{BatchWorkers: 1}},
+		{"shared/w4", harness.Options{BatchWorkers: 4}},
 	}
 	for _, v := range variants {
 		v := v
@@ -450,4 +452,47 @@ func BenchmarkRuntimeThroughput(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkScenarioCorpus replays the committed fault-schedule corpus
+// (testdata/corpus/): every harvested history is checked against its recorded
+// plan with the pruned engine on a single goroutine, so the number reported
+// here is the steady-state cost of the regression corpus itself. The verdicts
+// are asserted each iteration — a checker change that flips one fails the
+// benchmark, not just the test suite.
+func BenchmarkScenarioCorpus(b *testing.B) {
+	entries, paths := loadCorpus(b)
+	type job struct {
+		path string
+		h    *core.History
+		plan scenario.CheckPlan
+		opts core.CheckOptions
+		want bool
+	}
+	jobs := make([]job, 0, len(entries))
+	for i, e := range entries {
+		h, err := e.History()
+		if err != nil {
+			b.Fatalf("%s: %v", paths[i], err)
+		}
+		plan, err := e.Plan()
+		if err != nil {
+			b.Fatalf("%s: %v", paths[i], err)
+		}
+		opts := plan.Options
+		opts.Parallelism = 1
+		opts.Engine = core.EnginePruned
+		jobs = append(jobs, job{paths[i], h, plan, opts, e.RALinearizable})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, j := range jobs {
+			res := core.CheckRA(j.h, j.plan.Spec, j.opts)
+			if res.OK != j.want {
+				b.Fatalf("%s: verdict %v, corpus recorded %v", j.path, res.OK, j.want)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(jobs))*float64(b.N)/b.Elapsed().Seconds(), "histories/sec")
 }

@@ -1,0 +1,86 @@
+// Package cliflags factors the flag wiring shared by the cmd/ralin-* tools:
+// the checker/batch flags (-engine, -parallel, -batch-workers) that resolve
+// to a harness.Options value, the -seed flag, and the scenario selection
+// flags (-scenario, -list-scenarios) backed by the internal/scenario library.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"ralin/internal/core"
+	"ralin/internal/harness"
+	"ralin/internal/scenario"
+)
+
+// Common holds the checker/batch flags shared by every tool.
+type Common struct {
+	engine       *string
+	parallel     *int
+	batchWorkers *int
+}
+
+// AddCommon registers -engine, -parallel and -batch-workers on the flag set.
+func AddCommon(fs *flag.FlagSet) *Common {
+	return &Common{
+		engine:       fs.String("engine", "auto", "exhaustive-search engine: auto, pruned or legacy"),
+		parallel:     fs.Int("parallel", 0, "pruned-engine worker goroutines sharing one memo table via work stealing (0 = GOMAXPROCS)"),
+		batchWorkers: fs.Int("batch-workers", 0, "goroutines checking histories of one batch concurrently over a shared engine session (0 = GOMAXPROCS, 1 = sequential)"),
+	}
+}
+
+// Options resolves the parsed flags into a harness.Options value.
+func (c *Common) Options() (harness.Options, error) {
+	eng, err := core.ParseEngine(*c.engine)
+	if err != nil {
+		return harness.Options{}, err
+	}
+	return harness.Options{
+		Engine:       eng,
+		Parallelism:  *c.parallel,
+		BatchWorkers: *c.batchWorkers,
+	}, nil
+}
+
+// Engine returns the resolved engine (for reporting).
+func (c *Common) Engine() (core.Engine, error) { return core.ParseEngine(*c.engine) }
+
+// AddSeed registers the -seed flag.
+func AddSeed(fs *flag.FlagSet) *int64 {
+	return fs.Int64("seed", 1, "workload seed")
+}
+
+// Scenario holds the scenario-selection flags.
+type Scenario struct {
+	name *string
+	list *bool
+}
+
+// AddScenario registers -scenario and -list-scenarios on the flag set.
+func AddScenario(fs *flag.FlagSet) *Scenario {
+	return &Scenario{
+		name: fs.String("scenario", "", "fault-schedule scenario to generate histories from (see -list-scenarios)"),
+		list: fs.Bool("list-scenarios", false, "list the named fault-schedule scenarios and exit"),
+	}
+}
+
+// Name returns the selected scenario name ("" for none).
+func (s *Scenario) Name() string { return *s.name }
+
+// HandleList prints the scenario library when -list-scenarios was given and
+// reports whether it did (the caller should then exit).
+func (s *Scenario) HandleList(w io.Writer) bool {
+	if !*s.list {
+		return false
+	}
+	ListScenarios(w)
+	return true
+}
+
+// ListScenarios prints the scenario library, one line per scenario.
+func ListScenarios(w io.Writer) {
+	for _, sc := range scenario.All() {
+		fmt.Fprintf(w, "%-20s %s (%s, %s mode)\n", sc.Name, sc.Description, sc.CRDT, sc.Mode)
+	}
+}

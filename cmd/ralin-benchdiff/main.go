@@ -71,7 +71,7 @@ func main() {
 	// them against a baseline recorded elsewhere would fail on hardware,
 	// not code.
 	match := flag.String("match",
-		"^Benchmark(EngineNonLinearizable/(legacy|pruned-seq)|BatchRefutations/(fresh|shared)/w1|BatchCheckRandomHistories/(fresh|shared)/w1|SessionRecheck/(fresh|session))\\b",
+		"^Benchmark(EngineNonLinearizable/(legacy|pruned-seq)|BatchRefutations/(fresh|shared)/w1|BatchCheckRandomHistories/(fresh|shared)/w1|SessionRecheck/(fresh|session)|ScenarioCorpus)\\b",
 		"regexp selecting the gated benchmarks")
 	maxNS := flag.Float64("max-ns-regression", 25, "maximum tolerated ns/op regression in percent (same-CPU runs); <= 0 makes ns/op advisory")
 	maxAllocs := flag.Float64("max-allocs-regression", 0, "maximum tolerated allocs/op regression in percent; < 0 makes allocs/op advisory (for ns-only gates against a runner-cached baseline)")

@@ -20,25 +20,21 @@ import (
 	"os"
 	"strings"
 
-	"ralin/internal/core"
+	"ralin/cmd/internal/cliflags"
 	"ralin/internal/harness"
 )
 
 func main() {
 	fig := flag.String("fig", "", "single figure to reproduce (for example \"5a\" or \"fig-5a\")")
 	list := flag.Bool("list", false, "list experiment identifiers and exit")
-	engine := flag.String("engine", "auto", "exhaustive-search engine: auto, pruned or legacy")
-	parallel := flag.Int("parallel", 0, "pruned-engine worker goroutines sharing one memo table via work stealing (0 = GOMAXPROCS)")
-	batchWorkers := flag.Int("batch-workers", 0, "goroutines checking histories of one batch concurrently over a shared engine session (0 = GOMAXPROCS, 1 = sequential)")
+	common := cliflags.AddCommon(flag.CommandLine)
 	flag.Parse()
 
-	eng, err := core.ParseEngine(*engine)
+	o, err := common.Options()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ralin-figs:", err)
 		os.Exit(1)
 	}
-	harness.SetCheckEngine(eng, *parallel)
-	harness.SetBatchWorkers(*batchWorkers)
 
 	if *list {
 		for _, id := range harness.ExperimentIDs() {
@@ -53,14 +49,14 @@ func main() {
 		if !strings.HasPrefix(id, "fig-") && !strings.HasPrefix(id, "sec-") {
 			id = "fig-" + id
 		}
-		e, err := harness.ExperimentByID(id)
+		e, err := harness.ExperimentByID(id, o)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ralin-figs:", err)
 			os.Exit(1)
 		}
 		experiments = []harness.Experiment{e}
 	} else {
-		experiments = harness.Experiments()
+		experiments = harness.Experiments(o)
 	}
 
 	failed := 0

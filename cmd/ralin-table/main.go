@@ -15,7 +15,7 @@ import (
 	"fmt"
 	"os"
 
-	"ralin/internal/core"
+	"ralin/cmd/internal/cliflags"
 	"ralin/internal/harness"
 	"ralin/internal/verify"
 )
@@ -25,22 +25,19 @@ func main() {
 	ops := flag.Int("ops", 10, "operations per random execution")
 	replicas := flag.Int("replicas", 3, "replicas per execution")
 	histories := flag.Int("histories", 25, "random histories checked for RA-linearizability per CRDT")
-	seed := flag.Int64("seed", 1, "workload seed")
+	seed := cliflags.AddSeed(flag.CommandLine)
 	details := flag.Bool("details", false, "print per-obligation details below the table")
-	engine := flag.String("engine", "auto", "exhaustive-search engine: auto, pruned or legacy")
-	parallel := flag.Int("parallel", 0, "pruned-engine worker goroutines sharing one memo table via work stealing (0 = GOMAXPROCS)")
-	batchWorkers := flag.Int("batch-workers", 0, "goroutines checking histories of one batch concurrently over a shared engine session (0 = GOMAXPROCS, 1 = sequential)")
+	common := cliflags.AddCommon(flag.CommandLine)
 	flag.Parse()
 
-	eng, err := core.ParseEngine(*engine)
+	o, err := common.Options()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ralin-table:", err)
 		os.Exit(1)
 	}
-	harness.SetCheckEngine(eng, *parallel)
-	harness.SetBatchWorkers(*batchWorkers)
 
 	opts := harness.Fig12Options{
+		Options: o,
 		Verify: verify.Options{
 			Seed:      *seed,
 			Trials:    *trials,

@@ -10,11 +10,14 @@
 //	ralin-verify -crdt RGA [-trials N] [-ops N] [-replicas N] [-seed N]
 //	ralin-verify -all
 //	ralin-verify -list
+//	ralin-verify -scenario hot-key
 //
 // Alongside the deductive obligations, -histories N (default 10) RA-checks N
 // random histories of each verified CRDT with the configured search engine
 // (-engine, -parallel), tying the obligation run to the checker the rest of
-// the toolchain uses.
+// the toolchain uses. With -scenario, the random histories are replaced by
+// the named fault-schedule scenario's histories and the obligations run for
+// that scenario's CRDT.
 package main
 
 import (
@@ -22,10 +25,12 @@ import (
 	"fmt"
 	"os"
 
+	"ralin/cmd/internal/cliflags"
 	"ralin/internal/core"
 	"ralin/internal/crdt"
 	"ralin/internal/crdt/registry"
 	"ralin/internal/harness"
+	"ralin/internal/scenario"
 	"ralin/internal/verify"
 )
 
@@ -35,11 +40,10 @@ func main() {
 	trials := flag.Int("trials", 20, "random executions explored")
 	ops := flag.Int("ops", 10, "operations per execution")
 	replicas := flag.Int("replicas", 3, "replicas per execution")
-	seed := flag.Int64("seed", 1, "workload seed")
+	seed := cliflags.AddSeed(flag.CommandLine)
 	histories := flag.Int("histories", 10, "random histories RA-checked per CRDT after the obligations (0 disables)")
-	engine := flag.String("engine", "auto", "exhaustive-search engine: auto, pruned or legacy")
-	parallel := flag.Int("parallel", 0, "pruned-engine worker goroutines sharing one memo table via work stealing (0 = GOMAXPROCS)")
-	batchWorkers := flag.Int("batch-workers", 0, "goroutines checking histories of one batch concurrently over a shared engine session (0 = GOMAXPROCS, 1 = sequential)")
+	common := cliflags.AddCommon(flag.CommandLine)
+	scen := cliflags.AddScenario(flag.CommandLine)
 	list := flag.Bool("list", false, "list the registered CRDTs and exit")
 	flag.Parse()
 
@@ -49,14 +53,15 @@ func main() {
 		}
 		return
 	}
+	if scen.HandleList(os.Stdout) {
+		return
+	}
 
-	eng, err := core.ParseEngine(*engine)
+	o, err := common.Options()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ralin-verify:", err)
 		os.Exit(1)
 	}
-	harness.SetCheckEngine(eng, *parallel)
-	harness.SetBatchWorkers(*batchWorkers)
 	opts := verify.Options{
 		Seed:      *seed,
 		Trials:    *trials,
@@ -66,8 +71,25 @@ func main() {
 		MaxStates: 40,
 	}
 
+	var sc scenario.Scenario
+	var plan scenario.CheckPlan
+	useScenario := scen.Name() != ""
+	if useScenario {
+		sc, err = scenario.Lookup(scen.Name())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ralin-verify:", err)
+			os.Exit(1)
+		}
+		plan, err = sc.Plan()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ralin-verify:", err)
+			os.Exit(1)
+		}
+		*name = sc.CRDT
+	}
+
 	var targets []crdt.Descriptor
-	if *all {
+	if *all && !useScenario {
 		targets = registry.All()
 	} else {
 		d, err := registry.Lookup(*name)
@@ -91,24 +113,40 @@ func main() {
 			failed++
 		}
 		if *histories > 0 {
-			cfg := harness.WorkloadConfig{
-				Seed: *seed, Ops: *ops, Replicas: *replicas,
-				Elems: []string{"a", "b", "c"}, DeliveryProb: 40,
+			var hc harness.HistoryCheck
+			var label string
+			if useScenario {
+				label = fmt.Sprintf("RA-Linearizable(%s)", sc.Name)
+				gen := scenario.Generator{Scenario: sc, Seed: *seed}
+				hc, err = harness.CheckGeneratedAgainst(sc.Name, plan.Spec, plan.Options, gen, *histories, o)
+			} else {
+				label = "RA-Linearizable(random)"
+				cfg := harness.WorkloadConfig{
+					Seed: *seed, Ops: *ops, Replicas: *replicas,
+					Elems: []string{"a", "b", "c"}, DeliveryProb: 40,
+				}
+				hc, err = harness.CheckRandomHistoriesWith(d, *histories, cfg, o)
 			}
-			hc, err := harness.CheckRandomHistories(d, *histories, cfg)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "ralin-verify:", err)
 				os.Exit(1)
 			}
-			fmt.Printf("  %-28s %6d checked  ", "RA-Linearizable(random)", hc.Histories)
-			if hc.OK() {
+			eng := core.ResolveEngine(o.Engine)
+			fmt.Printf("  %-28s %6d checked  ", label, hc.Histories)
+			switch {
+			case hc.OK():
 				if hc.Nodes > 0 {
 					fmt.Printf("ok (%d candidates, %d nodes, %d steals, %d plan reuses, %d cached rewrites, engine %s)\n",
-						hc.Tried, hc.Nodes, hc.Steals, hc.PlanReuses, hc.RewriteHits, core.ResolveEngine(eng))
+						hc.Tried, hc.Nodes, hc.Steals, hc.PlanReuses, hc.RewriteHits, eng)
 				} else {
-					fmt.Printf("ok (%d candidates, engine %s)\n", hc.Tried, core.ResolveEngine(eng))
+					fmt.Printf("ok (%d candidates, engine %s)\n", hc.Tried, eng)
 				}
-			} else {
+			case useScenario && plan.ExpectRefutations:
+				// Naive-mode scenarios exist to provoke refutations; report
+				// them as findings rather than failing the obligation run.
+				fmt.Printf("refuted %d/%d vs naive %s spec, as intended (e.g. %s)\n",
+					hc.Histories-hc.Linearizable, hc.Histories, plan.SpecName, hc.FailureExample)
+			default:
 				fmt.Printf("FAILED (%s)\n", hc.FailureExample)
 				failed++
 			}

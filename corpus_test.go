@@ -1,0 +1,82 @@
+package ralin
+
+// Regression tests over the committed scenario corpus (testdata/corpus/):
+// the most interesting histories harvested from the fault-schedule scenario
+// library — naive-specification refutations and the highest-node positive
+// checks. Every entry is replayed against its recorded verdict, and checked
+// under both exhaustive engines, so a checker change that flips a verdict or
+// an engine divergence shows up here before it ships.
+
+import (
+	"testing"
+
+	"ralin/internal/core"
+	"ralin/internal/scenario"
+)
+
+const corpusDir = "testdata/corpus"
+
+func loadCorpus(t testing.TB) ([]scenario.Entry, []string) {
+	t.Helper()
+	entries, paths, err := scenario.LoadCorpus(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatalf("no corpus entries under %s; regenerate with `make scenarios`", corpusDir)
+	}
+	return entries, paths
+}
+
+// TestScenarioCorpusReplay replays every committed corpus entry and asserts
+// the verdict recorded at harvest time.
+func TestScenarioCorpusReplay(t *testing.T) {
+	entries, paths := loadCorpus(t)
+	for i, e := range entries {
+		h, err := e.History()
+		if err != nil {
+			t.Fatalf("%s: %v", paths[i], err)
+		}
+		plan, err := e.Plan()
+		if err != nil {
+			t.Fatalf("%s: %v", paths[i], err)
+		}
+		res := core.CheckRA(h, plan.Spec, plan.Options)
+		if res.OK != e.RALinearizable {
+			t.Errorf("%s: replay verdict %v, corpus recorded %v (scenario %s seed %d vs %s)",
+				paths[i], res.OK, e.RALinearizable, e.Scenario, e.Seed, e.Spec)
+		}
+	}
+}
+
+// TestScenarioCorpusEnginesAgree checks every corpus entry with the pruned
+// and legacy exhaustive engines (constructive strategies disabled, so both
+// engines actually search) and asserts they reach the recorded verdict.
+func TestScenarioCorpusEnginesAgree(t *testing.T) {
+	entries, paths := loadCorpus(t)
+	for i, e := range entries {
+		h, err := e.History()
+		if err != nil {
+			t.Fatalf("%s: %v", paths[i], err)
+		}
+		plan, err := e.Plan()
+		if err != nil {
+			t.Fatalf("%s: %v", paths[i], err)
+		}
+		opts := plan.Options
+		opts.Strategies = nil
+		opts.Exhaustive = true
+		opts.MaxExtensions = 500000
+		for _, engine := range []core.Engine{core.EnginePruned, core.EngineLegacy} {
+			opts.Engine = engine
+			res := core.CheckRA(h, plan.Spec, opts)
+			if !res.OK && !res.Complete {
+				t.Errorf("%s: engine %v did not decide the entry within budget", paths[i], engine)
+				continue
+			}
+			if res.OK != e.RALinearizable {
+				t.Errorf("%s: engine %v verdict %v, corpus recorded %v", paths[i], engine, res.OK, e.RALinearizable)
+			}
+		}
+	}
+}

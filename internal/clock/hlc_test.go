@@ -1,0 +1,77 @@
+package clock
+
+import "testing"
+
+func TestHLCMonotonicPerReplica(t *testing.T) {
+	h := NewHLC(nil)
+	var prev Timestamp
+	for i := 0; i < 100; i++ {
+		ts := h.Next(0)
+		if i > 0 && !prev.Less(ts) {
+			t.Fatalf("step %d: %v not strictly above %v", i, ts, prev)
+		}
+		prev = ts
+	}
+}
+
+func TestHLCDominatesObserved(t *testing.T) {
+	h := NewHLC(nil)
+	remote := Timestamp{Time: 500, Replica: 1}
+	h.Observe(0, remote)
+	ts := h.Next(0)
+	if !remote.Less(ts) {
+		t.Fatalf("timestamp %v does not dominate observed %v", ts, remote)
+	}
+	// Observing something older than what r already issued must not rewind.
+	h.Observe(0, Timestamp{Time: 3, Replica: 2})
+	if next := h.Next(0); !ts.Less(next) {
+		t.Fatalf("timestamp %v regressed after observing an old timestamp (prev %v)", next, ts)
+	}
+}
+
+func TestHLCObserveBottomIgnored(t *testing.T) {
+	h := NewHLC(nil)
+	h.Observe(0, Timestamp{})
+	if ts := h.Next(0); ts.Time != 1 {
+		t.Fatalf("bottom observation moved the clock: got %v", ts)
+	}
+}
+
+func TestHLCTracksPhysicalClock(t *testing.T) {
+	var now uint64
+	h := NewHLC(func(ReplicaID) uint64 { return now })
+	now = 7
+	ts := h.Next(0)
+	if Physical(ts) != 7 || Logical(ts) != 0 {
+		t.Fatalf("expected physical 7, logical 0, got physical %d logical %d (%v)", Physical(ts), Logical(ts), ts)
+	}
+	// With the physical clock frozen, causally related events advance the
+	// logical counter within the same physical tick.
+	ts2 := h.Next(0)
+	if Physical(ts2) != 7 || Logical(ts2) != 1 {
+		t.Fatalf("expected physical 7, logical 1, got physical %d logical %d (%v)", Physical(ts2), Logical(ts2), ts2)
+	}
+	// A lagging physical clock never rewinds the timestamp.
+	now = 2
+	ts3 := h.Next(0)
+	if !ts2.Less(ts3) {
+		t.Fatalf("timestamp %v regressed under a lagging physical clock (prev %v)", ts3, ts2)
+	}
+}
+
+func TestHLCSkewedReplicasStayUnique(t *testing.T) {
+	skew := []uint64{0, 5}
+	var step uint64
+	h := NewHLC(func(r ReplicaID) uint64 { return step + skew[int(r)] })
+	seen := make(map[Timestamp]bool)
+	for i := 0; i < 50; i++ {
+		step++
+		for r := ReplicaID(0); r < 2; r++ {
+			ts := h.Next(r)
+			if seen[ts] {
+				t.Fatalf("duplicate timestamp %v", ts)
+			}
+			seen[ts] = true
+		}
+	}
+}

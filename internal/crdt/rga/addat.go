@@ -106,7 +106,7 @@ func RandomAddAtOp(rng *rand.Rand, sys crdt.Invoker, elems []string) (*core.Labe
 	visible := st.Visible()
 	switch rng.Intn(4) {
 	case 0, 1:
-		return sys.Invoke(r, "addAt", FreshElem(), rng.Intn(len(visible)+2))
+		return sys.Invoke(r, "addAt", FreshElem(rng), rng.Intn(len(visible)+2))
 	case 2:
 		if len(visible) == 0 {
 			return sys.Invoke(r, "read")

@@ -12,7 +12,6 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
-	"sync/atomic"
 
 	"ralin/internal/clock"
 	"ralin/internal/core"
@@ -270,12 +269,11 @@ func Abs(s runtime.State) core.AbsState {
 // StateTimestamps lists the timestamps stored in the tree (Refinement_ts).
 func StateTimestamps(s runtime.State) []clock.Timestamp { return s.(State).Timestamps() }
 
-// freshCounter generates globally unique element names for random workloads.
-var freshCounter uint64
-
-// FreshElem returns a globally unique element name for workload generation.
-func FreshElem() string {
-	return fmt.Sprintf("v%d", atomic.AddUint64(&freshCounter, 1))
+// FreshElem returns a fresh element name for workload generation, drawn from
+// the workload's own generator so that equal seeds yield byte-identical
+// histories (64 random bits make collisions within a history negligible).
+func FreshElem(rng *rand.Rand) string {
+	return fmt.Sprintf("v%x", rng.Uint64())
 }
 
 // RandomOp performs one random RGA operation that respects the generator
@@ -291,7 +289,7 @@ func RandomOp(rng *rand.Rand, sys crdt.Invoker, elems []string) (*core.Label, er
 		if len(visible) > 0 && rng.Intn(3) > 0 {
 			after = visible[rng.Intn(len(visible))]
 		}
-		return sys.Invoke(r, "addAfter", after, FreshElem())
+		return sys.Invoke(r, "addAfter", after, FreshElem(rng))
 	case 2:
 		if len(visible) == 0 {
 			return sys.Invoke(r, "read")

@@ -10,7 +10,6 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
-	"sync/atomic"
 
 	"ralin/internal/clock"
 	"ralin/internal/core"
@@ -227,7 +226,7 @@ func RandomOp(rng *rand.Rand, sys crdt.Invoker, elems []string) (*core.Label, er
 	st := sys.ReplicaState(r).(State)
 	switch rng.Intn(4) {
 	case 0, 1:
-		return sys.Invoke(r, "add", FreshElem())
+		return sys.Invoke(r, "add", FreshElem(rng))
 	case 2:
 		candidates := st.Values()
 		if len(candidates) == 0 {
@@ -239,13 +238,12 @@ func RandomOp(rng *rand.Rand, sys crdt.Invoker, elems []string) (*core.Label, er
 	}
 }
 
-// freshCounter generates globally unique element names for random workloads,
-// honouring the 2P-Set usage assumption that a value is never added twice.
-var freshCounter uint64
-
-// FreshElem returns a globally unique element name for workload generation.
-func FreshElem() string {
-	return fmt.Sprintf("p%d", atomic.AddUint64(&freshCounter, 1))
+// FreshElem returns a fresh element name for workload generation, honouring
+// the 2P-Set usage assumption that a value is never added twice. Names come
+// from the workload's own generator so that equal seeds yield byte-identical
+// histories (64 random bits make collisions within a history negligible).
+func FreshElem(rng *rand.Rand) string {
+	return fmt.Sprintf("p%x", rng.Uint64())
 }
 
 // Descriptor describes the 2P-Set for the harnesses.

@@ -12,7 +12,6 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
-	"sync/atomic"
 
 	"ralin/internal/clock"
 	"ralin/internal/core"
@@ -306,12 +305,11 @@ func Abs(s runtime.State) core.AbsState {
 // StateTimestamps lists the identifiers stored in the W-string.
 func StateTimestamps(s runtime.State) []clock.Timestamp { return s.(State).Timestamps() }
 
-// freshCounter generates globally unique element names for random workloads.
-var freshCounter uint64
-
-// FreshElem returns a globally unique element name for workload generation.
-func FreshElem() string {
-	return fmt.Sprintf("w%d", atomic.AddUint64(&freshCounter, 1))
+// FreshElem returns a fresh element name for workload generation, drawn from
+// the workload's own generator so that equal seeds yield byte-identical
+// histories (64 random bits make collisions within a history negligible).
+func FreshElem(rng *rand.Rand) string {
+	return fmt.Sprintf("w%x", rng.Uint64())
 }
 
 // RandomOp performs one random Wooki operation respecting the generator
@@ -324,7 +322,7 @@ func RandomOp(rng *rand.Rand, sys crdt.Invoker, elems []string) (*core.Label, er
 		// Pick two positions i < j and insert between their values.
 		i := rng.Intn(len(st) - 1)
 		j := i + 1 + rng.Intn(len(st)-i-1)
-		return sys.Invoke(r, "addBetween", st[i].Value, FreshElem(), st[j].Value)
+		return sys.Invoke(r, "addBetween", st[i].Value, FreshElem(rng), st[j].Value)
 	case 2:
 		visible := st.Values()
 		if len(visible) == 0 {

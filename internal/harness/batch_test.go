@@ -50,11 +50,11 @@ func TestBatchSharedSessionDifferential(t *testing.T) {
 		check := d.CheckOptions()
 		check.Parallelism = 1
 		cfg := WorkloadConfig{Seed: 9, Ops: 6, Replicas: 2, Elems: []string{"a", "b"}, DeliveryProb: 40}
-		shared, err := CheckRandomHistoriesWith(d, 6, cfg, BatchOptions{Workers: 4, Check: &check})
+		shared, err := CheckRandomHistoriesWith(d, 6, cfg, Options{BatchWorkers: 4, Check: &check})
 		if err != nil {
 			t.Fatalf("%s shared: %v", d.Name, err)
 		}
-		fresh, err := CheckRandomHistoriesWith(d, 6, cfg, BatchOptions{Workers: 1, FreshSessions: true, Check: &check})
+		fresh, err := CheckRandomHistoriesWith(d, 6, cfg, Options{BatchWorkers: 1, FreshSessions: true, Check: &check})
 		if err != nil {
 			t.Fatalf("%s fresh: %v", d.Name, err)
 		}
@@ -84,11 +84,11 @@ func TestBatchExhaustiveDifferential(t *testing.T) {
 		check.Parallelism = 1
 		check.DebugMemo = true // hash-compaction collisions panic instead of mis-pruning
 		cfg := WorkloadConfig{Seed: 21, Ops: 6, Replicas: 2, Elems: []string{"a", "b"}, DeliveryProb: 40}
-		shared, err := CheckRandomHistoriesWith(d, 5, cfg, BatchOptions{Workers: 3, Check: &check})
+		shared, err := CheckRandomHistoriesWith(d, 5, cfg, Options{BatchWorkers: 3, Check: &check})
 		if err != nil {
 			t.Fatal(err)
 		}
-		fresh, err := CheckRandomHistoriesWith(d, 5, cfg, BatchOptions{Workers: 1, FreshSessions: true, Check: &check})
+		fresh, err := CheckRandomHistoriesWith(d, 5, cfg, Options{BatchWorkers: 1, FreshSessions: true, Check: &check})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -140,11 +140,11 @@ func TestBatchPolarityDifferentialAllDescriptors(t *testing.T) {
 		// shared side the second occurrence must hit the rewrite cache (for
 		// descriptors with a real rewriting) and still match fresh state.
 		hs = append(hs, hs...)
-		shared, err := CheckHistoryBatch(d.Name, d.Spec, opts, hs, BatchOptions{Workers: 3})
+		shared, err := CheckHistoryBatch(d.Name, d.Spec, opts, hs, Options{BatchWorkers: 3})
 		if err != nil {
 			t.Fatalf("%s shared: %v", d.Name, err)
 		}
-		fresh, err := CheckHistoryBatch(d.Name, d.Spec, opts, hs, BatchOptions{Workers: 1, FreshSessions: true})
+		fresh, err := CheckHistoryBatch(d.Name, d.Spec, opts, hs, Options{BatchWorkers: 1, FreshSessions: true})
 		if err != nil {
 			t.Fatalf("%s fresh: %v", d.Name, err)
 		}
@@ -220,7 +220,7 @@ func TestHistoryQueryRaceWithBatchRecheck(t *testing.T) {
 	check.Strategies = nil // force the engine so parallel workers read the history plans
 	check.Parallelism = 2
 	check.DebugMemo = true
-	out, err := CheckHistoryBatch(d.Name, d.Spec, check, batch, BatchOptions{Workers: 4})
+	out, err := CheckHistoryBatch(d.Name, d.Spec, check, batch, Options{BatchWorkers: 4})
 	close(done)
 	wg.Wait()
 	if err != nil {
@@ -298,11 +298,11 @@ func TestBatchBothPolarities(t *testing.T) {
 		hs = append(hs, incsHistory(k, int64(k)+7)) // refuted
 	}
 	opts := core.CheckOptions{Exhaustive: true, Parallelism: 1}
-	shared, err := CheckHistoryBatch("counter-mix", spec.Counter{}, opts, hs, BatchOptions{Workers: 4})
+	shared, err := CheckHistoryBatch("counter-mix", spec.Counter{}, opts, hs, Options{BatchWorkers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	fresh, err := CheckHistoryBatch("counter-mix", spec.Counter{}, opts, hs, BatchOptions{Workers: 1, FreshSessions: true})
+	fresh, err := CheckHistoryBatch("counter-mix", spec.Counter{}, opts, hs, Options{BatchWorkers: 1, FreshSessions: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -332,7 +332,7 @@ func TestBatchPoolRace(t *testing.T) {
 	check.Parallelism = 2  // inner parallel search on top of the batch pool
 	check.DebugMemo = true // exercise the debug tuple store under -race too
 	cfg := WorkloadConfig{Seed: 2, Ops: 6, Replicas: 3, Elems: []string{"a", "b"}, DeliveryProb: 40}
-	out, err := CheckRandomHistoriesWith(d, 16, cfg, BatchOptions{Workers: 8, Check: &check})
+	out, err := CheckRandomHistoriesWith(d, 16, cfg, Options{BatchWorkers: 8, Check: &check})
 	if err != nil {
 		t.Fatal(err)
 	}

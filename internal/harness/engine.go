@@ -11,27 +11,48 @@ import (
 // every experiment driven through this package (and through the cmd/ralin-*
 // tools and benchmarks built on it) runs pruned by default.
 
-// Package-level checker tuning applied to every RA-linearizability check
-// issued by the experiments, tables and workloads in this package. The
-// cmd/ralin-* tools set it from their -engine/-parallel/-batch-workers flags.
-var (
-	checkEngine      core.Engine
-	checkParallelism int
-	batchWorkers     int
-)
-
-// SetCheckEngine selects the exhaustive-search engine and its parallelism for
-// every check run through this package. The zero values keep the defaults
-// (EngineAuto — the pruned engine — at GOMAXPROCS parallelism).
-func SetCheckEngine(e core.Engine, parallelism int) {
-	checkEngine = e
-	checkParallelism = parallelism
+// Options is the explicit checker/batch configuration threaded through every
+// entry point of this package: the figure reproductions, the Figure 12 table,
+// the random-workload batches and the generated-history batches. The zero
+// value is the default configuration (pruned engine, GOMAXPROCS parallelism
+// and batch workers, one shared session per batch). It replaces the former
+// package-level SetCheckEngine/SetBatchWorkers globals, so two callers with
+// different configurations no longer race on hidden state.
+type Options struct {
+	// Engine selects the exhaustive-search engine for every check
+	// (EngineAuto keeps the registered default, the pruned engine).
+	Engine core.Engine
+	// Parallelism bounds the inner search parallelism of each check. Zero
+	// leaves the choice to the engine (GOMAXPROCS, or the adaptive
+	// batch/inner split inside a batch pool).
+	Parallelism int
+	// BatchWorkers bounds the worker pool the batch entry points fan trials
+	// across. Zero uses GOMAXPROCS; one forces the sequential per-trial
+	// loop.
+	BatchWorkers int
+	// FreshSessions disables the shared engine session inside batches,
+	// giving every history fresh interner/memo/scratch state — the
+	// pre-batch behaviour, kept for differential testing and debugging.
+	FreshSessions bool
+	// Check overrides the descriptor-derived checker options for every
+	// trial of the batch entry points that would otherwise derive them
+	// (CheckRandomHistories, CheckGenerated). Entry points taking an
+	// explicit opts parameter (CheckHistoryBatch, CheckGeneratedAgainst)
+	// ignore it. Engine/Parallelism tuning is still applied on top.
+	Check *core.CheckOptions
 }
 
-// SetBatchWorkers bounds the worker pool CheckRandomHistories (and the other
-// batch entry points) fans trials across. Zero keeps the default
-// (GOMAXPROCS); one forces the sequential per-trial loop.
-func SetBatchWorkers(n int) { batchWorkers = n }
+// Tune applies the engine selection and parallelism of the Options to
+// checker options. A pinned opts.Parallelism wins over o.Parallelism.
+func (o Options) Tune(opts core.CheckOptions) core.CheckOptions {
+	if o.Engine != core.EngineAuto {
+		opts.Engine = o.Engine
+	}
+	if opts.Parallelism == 0 {
+		opts.Parallelism = o.Parallelism
+	}
+	return opts
+}
 
 // searchEffort renders the work a check's exhaustive phase performed in the
 // units of the engine that ran it: complete candidates for the legacy
@@ -54,15 +75,4 @@ func searchEffort(res core.Result) string {
 		return s
 	}
 	return fmt.Sprintf("tried %d linearizations", res.Tried)
-}
-
-// checkTuning applies the package-level engine selection to checker options.
-func checkTuning(opts core.CheckOptions) core.CheckOptions {
-	if checkEngine != core.EngineAuto {
-		opts.Engine = checkEngine
-	}
-	if opts.Parallelism == 0 {
-		opts.Parallelism = checkParallelism
-	}
-	return opts
 }

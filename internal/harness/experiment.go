@@ -41,25 +41,26 @@ func (e Experiment) String() string {
 	return b.String()
 }
 
-// Experiments runs every figure reproduction and returns them in paper order.
-func Experiments() []Experiment {
+// Experiments runs every figure reproduction under the given options and
+// returns them in paper order.
+func Experiments(o Options) []Experiment {
 	return []Experiment{
-		Fig2(),
-		Fig3(),
-		Fig5a(),
-		Fig5b(),
-		Sec33(),
-		Fig8(),
-		Fig9(),
-		Fig10(),
-		Fig13(),
-		Fig14(),
+		Fig2(o),
+		Fig3(o),
+		Fig5a(o),
+		Fig5b(o),
+		Sec33(o),
+		Fig8(o),
+		Fig9(o),
+		Fig10(o),
+		Fig13(o),
+		Fig14(o),
 	}
 }
 
-// ExperimentByID returns the experiment with the given identifier.
-func ExperimentByID(id string) (Experiment, error) {
-	for _, e := range Experiments() {
+// ExperimentByID runs and returns the experiment with the given identifier.
+func ExperimentByID(id string, o Options) (Experiment, error) {
+	for _, e := range Experiments(o) {
 		if e.ID == id {
 			return e, nil
 		}
@@ -69,9 +70,8 @@ func ExperimentByID(id string) (Experiment, error) {
 
 // ExperimentIDs lists the identifiers in paper order.
 func ExperimentIDs() []string {
-	var out []string
-	for _, e := range Experiments() {
-		out = append(out, e.ID)
+	return []string{
+		"fig-2", "fig-3", "fig-5a", "fig-5b", "sec-3.3",
+		"fig-8", "fig-9", "fig-10", "fig-13", "fig-14",
 	}
-	return out
 }

@@ -17,7 +17,7 @@ import (
 // a·b·c, two replicas concurrently insert d and e after c (the insertion with
 // the larger timestamp is ordered first), the replicas converge, and removing
 // d hides it from subsequent reads.
-func Fig2() Experiment {
+func Fig2(o Options) Experiment {
 	d := rga.Descriptor()
 	sys := d.NewOpSystem(runtime.Config{Replicas: 2})
 	var out strings.Builder
@@ -62,7 +62,7 @@ func Fig2() Experiment {
 
 // Fig3 reproduces Figure 3: the history (visibility DAG) of the Figure 2
 // execution, checked RA-linearizable with a timestamp-order witness.
-func Fig3() Experiment {
+func Fig3(o Options) Experiment {
 	d := rga.Descriptor()
 	sys := d.NewOpSystem(runtime.Config{Replicas: 2})
 	sys.MustInvoke(0, "addAfter", rga.Root, "a")
@@ -77,7 +77,7 @@ func Fig3() Experiment {
 	sys.MustInvoke(0, "read")
 
 	h := sys.History()
-	res := core.CheckRA(h, d.Spec, checkTuning(d.CheckOptions()))
+	res := core.CheckRA(h, d.Spec, o.Tune(d.CheckOptions()))
 	var out strings.Builder
 	out.WriteString("history (label  origin  sees):\n")
 	out.WriteString(h.String())
@@ -131,11 +131,11 @@ func naiveSetHistory(h *core.History) *core.History {
 // Fig5a reproduces Figure 5a: the OR-Set execution is not linearizable with
 // respect to the plain Set specification, even allowing visibility-based
 // linearizations.
-func Fig5a() Experiment {
+func Fig5a(o Options) Experiment {
 	_, h := fig5System()
 	naive := naiveSetHistory(h)
-	strong := core.CheckStrongLinearizable(naive, spec.Set{}, checkTuning(core.CheckOptions{Exhaustive: true}))
-	ra := core.CheckRA(naive, spec.Set{}, checkTuning(core.CheckOptions{Exhaustive: true}))
+	strong := core.CheckStrongLinearizable(naive, spec.Set{}, o.Tune(core.CheckOptions{Exhaustive: true}))
+	ra := core.CheckRA(naive, spec.Set{}, o.Tune(core.CheckOptions{Exhaustive: true}))
 	var out strings.Builder
 	out.WriteString("history (removes treated as plain Set updates):\n")
 	out.WriteString(naive.String())
@@ -155,10 +155,10 @@ func Fig5a() Experiment {
 // Fig5b reproduces Figure 5b: the same execution becomes RA-linearizable with
 // respect to Spec(OR-Set) once the query-update rewriting splits removes into
 // readIds · remove.
-func Fig5b() Experiment {
+func Fig5b(o Options) Experiment {
 	d := orset.Descriptor()
 	_, h := fig5System()
-	res := core.CheckRA(h, d.Spec, checkTuning(d.CheckOptions()))
+	res := core.CheckRA(h, d.Spec, o.Tune(d.CheckOptions()))
 	var out strings.Builder
 	out.WriteString("rewritten history:\n")
 	if res.Rewritten != nil {
@@ -182,7 +182,7 @@ func Fig5b() Experiment {
 // program  add(a); rem(a); X=read()  ∥  add(a); Y=read()  the post-condition
 // a ∈ X ⇒ a ∈ Y holds in every execution, and every execution is
 // RA-linearizable.
-func Sec33() Experiment {
+func Sec33(o Options) Experiment {
 	d := orset.Descriptor()
 	program := Program{
 		{{Method: "add", Args: []core.Value{"a"}}, {Method: "remove", Args: []core.Value{"a"}}, {Method: "read"}},
@@ -200,7 +200,7 @@ func Sec33() Experiment {
 		if aInX && !aInY {
 			violations++
 		}
-		res := core.CheckRA(run.System.History(), d.Spec, checkTuning(d.CheckOptions()))
+		res := core.CheckRA(run.System.History(), d.Spec, o.Tune(d.CheckOptions()))
 		if !res.OK {
 			nonLinearizable++
 		}
@@ -225,7 +225,7 @@ func Sec33() Experiment {
 
 // Fig8 reproduces Figure 8: an RGA execution whose execution-order
 // linearization is not an RA-linearization while the timestamp-order one is.
-func Fig8() Experiment {
+func Fig8(o Options) Experiment {
 	d := rga.Descriptor()
 	scripted := clock.NewScripted(
 		clock.Timestamp{Time: 2, Replica: 1}, // tsb (generated first)
@@ -240,8 +240,8 @@ func Fig8() Experiment {
 	sys.MustInvoke(1, "addAfter", "b", "c")
 
 	h := sys.History()
-	eo := core.CheckRA(h, d.Spec, checkTuning(core.CheckOptions{Strategies: []core.Strategy{core.StrategyExecutionOrder}}))
-	to := core.CheckRA(h, d.Spec, checkTuning(core.CheckOptions{Strategies: []core.Strategy{core.StrategyTimestampOrder}}))
+	eo := core.CheckRA(h, d.Spec, o.Tune(core.CheckOptions{Strategies: []core.Strategy{core.StrategyExecutionOrder}}))
+	to := core.CheckRA(h, d.Spec, o.Tune(core.CheckOptions{Strategies: []core.Strategy{core.StrategyTimestampOrder}}))
 	var out strings.Builder
 	fmt.Fprintf(&out, "read returned %s\n", core.FormatValue(read.Ret))
 	fmt.Fprintf(&out, "execution-order linearization accepted: %v\n", eo.OK)
@@ -263,7 +263,7 @@ func Fig8() Experiment {
 // Fig9 reproduces Figure 9: a composition of two OR-Sets in which specific
 // per-object RA-linearizations cannot be combined into a global one, yet the
 // composed history is RA-linearizable (Theorem 5.3).
-func Fig9() Experiment {
+func Fig9(o Options) Experiment {
 	objects := []compose.Object{
 		{Name: "o1", Descriptor: orset.Descriptor()},
 		{Name: "o2", Descriptor: orset.Descriptor()},
@@ -277,7 +277,7 @@ func Fig9() Experiment {
 	h := sys.History()
 	specC := compose.SpecOf(sys)
 	opts := compose.CheckOptions(sys)
-	res := core.CheckRA(h, specC, checkTuning(opts))
+	res := core.CheckRA(h, specC, o.Tune(opts))
 
 	rew, err := core.RewriteHistory(h, opts.Rewriting)
 	combinedBad, combinedGood := false, false
@@ -321,7 +321,7 @@ func Fig9() Experiment {
 // Fig10 reproduces Figure 10: two RGAs under the unrestricted composition ⊗
 // produce a history that is not RA-linearizable, while the shared timestamp
 // generator composition ⊗ts rules the conflict out (Theorem 5.5).
-func Fig10() Experiment {
+func Fig10(o Options) Experiment {
 	runOnce := func(mode compose.Mode) (*compose.System, *core.History) {
 		var o1Clock clock.Generator
 		if mode == compose.Unrestricted {
@@ -347,9 +347,9 @@ func Fig10() Experiment {
 		return sys, sys.History()
 	}
 	unrSys, unrHist := runOnce(compose.Unrestricted)
-	unr := core.CheckRA(unrHist, compose.SpecOf(unrSys), checkTuning(compose.CheckOptions(unrSys)))
+	unr := core.CheckRA(unrHist, compose.SpecOf(unrSys), o.Tune(compose.CheckOptions(unrSys)))
 	sharedSys, sharedHist := runOnce(compose.SharedTimestamps)
-	shared := core.CheckRA(sharedHist, compose.SpecOf(sharedSys), checkTuning(compose.CheckOptions(sharedSys)))
+	shared := core.CheckRA(sharedHist, compose.SpecOf(sharedSys), o.Tune(compose.CheckOptions(sharedSys)))
 
 	var out strings.Builder
 	out.WriteString("history under ⊗ (independent timestamps):\n")
@@ -370,7 +370,7 @@ func Fig10() Experiment {
 // Fig13 reproduces Figure 13 (Appendix A): the step-by-step evolution of the
 // global configuration of an RGA deployment, showing the per-replica label
 // sets, the replica state and the growth of the visibility relation.
-func Fig13() Experiment {
+func Fig13(o Options) Experiment {
 	d := rga.Descriptor()
 	sys := d.NewOpSystem(runtime.Config{Replicas: 2})
 	var out strings.Builder
@@ -416,7 +416,7 @@ func Fig13() Experiment {
 // Fig14 reproduces Figure 14 (Appendix C): an execution of the RGA variant
 // with an addAt interface whose history is RA-linearizable with respect to
 // Spec(addAt3) but not with respect to Spec(addAt1) or Spec(addAt2).
-func Fig14() Experiment {
+func Fig14(o Options) Experiment {
 	sys := runtime.NewSystem(rga.AddAtType{}, runtime.Config{Replicas: 3})
 	a := sys.MustInvoke(2, "addAt", "a", 0)
 	must(sys.Deliver(0, a.ID))
@@ -438,10 +438,10 @@ func Fig14() Experiment {
 	h := sys.History()
 
 	opts := core.CheckOptions{Exhaustive: true}
-	r1 := core.CheckRA(h, spec.AddAt1{}, checkTuning(opts))
-	r2 := core.CheckRA(h, spec.AddAt2{}, checkTuning(opts))
+	r1 := core.CheckRA(h, spec.AddAt1{}, o.Tune(opts))
+	r2 := core.CheckRA(h, spec.AddAt2{}, o.Tune(opts))
 	d3 := rga.AddAtDescriptor()
-	r3 := core.CheckRA(h, spec.AddAt3{}, checkTuning(d3.CheckOptions()))
+	r3 := core.CheckRA(h, spec.AddAt3{}, o.Tune(d3.CheckOptions()))
 
 	var out strings.Builder
 	fmt.Fprintf(&out, "final read: %s\n", core.FormatValue(read.Ret))

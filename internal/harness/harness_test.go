@@ -144,7 +144,7 @@ func TestExploreSchedulesErrors(t *testing.T) {
 }
 
 func TestExperimentsAllReproduce(t *testing.T) {
-	for _, e := range Experiments() {
+	for _, e := range Experiments(Options{}) {
 		if !e.OK {
 			t.Errorf("experiment %s did not reproduce:\n%s", e.ID, e)
 		}
@@ -159,11 +159,11 @@ func TestExperimentLookupAndRendering(t *testing.T) {
 	if len(ids) != 10 {
 		t.Fatalf("expected 10 experiments, got %d", len(ids))
 	}
-	e, err := ExperimentByID("fig-8")
+	e, err := ExperimentByID("fig-8", Options{})
 	if err != nil || e.ID != "fig-8" {
 		t.Fatalf("lookup failed: %v", err)
 	}
-	if _, err := ExperimentByID("fig-99"); err == nil {
+	if _, err := ExperimentByID("fig-99", Options{}); err == nil {
 		t.Fatal("unknown experiment must fail")
 	}
 	text := e.String()

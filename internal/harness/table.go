@@ -41,6 +41,8 @@ type Fig12Options struct {
 	HistoryTrials int
 	// Workload configures each random history.
 	Workload WorkloadConfig
+	// Options is the checker/batch configuration for the history checks.
+	Options Options
 }
 
 // DefaultFig12Options keeps the full table under a few seconds.
@@ -81,7 +83,7 @@ func Fig12RowFor(d crdt.Descriptor, opts Fig12Options) (Fig12Row, error) {
 	} else {
 		row.Obligations = verify.CheckStateBased(d, opts.Verify)
 	}
-	hist, err := CheckRandomHistories(d, opts.HistoryTrials, opts.Workload)
+	hist, err := CheckRandomHistoriesWith(d, opts.HistoryTrials, opts.Workload, opts.Options)
 	if err != nil {
 		return row, err
 	}

@@ -162,61 +162,86 @@ type HistoryCheck struct {
 // OK reports whether every history was RA-linearizable.
 func (h HistoryCheck) OK() bool { return h.Linearizable == h.Histories }
 
-// BatchOptions tunes the batch pipeline behind CheckRandomHistories and
-// CheckHistoryBatch.
-type BatchOptions struct {
-	// Workers bounds the goroutines generating and checking trials
-	// concurrently. Zero uses the package default (SetBatchWorkers, falling
-	// back to GOMAXPROCS); one forces the sequential loop.
-	Workers int
-	// FreshSessions disables the shared engine session, giving every history
-	// fresh interner/memo/scratch state — the pre-batch behaviour, kept for
-	// differential testing and debugging.
-	FreshSessions bool
-	// Check overrides the descriptor's checker options for every trial of
-	// CheckRandomHistoriesWith (which takes no options parameter of its
-	// own); CheckHistoryBatch ignores it — its explicit opts parameter
-	// already plays that role. The batch pool still applies the package
-	// engine tuning and the shared session on top.
-	Check *core.CheckOptions
+// HistoryGenerator produces the histories a batch checks: trial i of the
+// batch calls Generate(i). Implementations must be safe for concurrent calls
+// with distinct trial indices (the batch pool fans trials across workers) and
+// deterministic per trial index, so batch results do not depend on worker
+// count. The returned seed is only reporting metadata (it labels the trial's
+// FailureExample); the generator derives it from the trial index however it
+// likes.
+type HistoryGenerator interface {
+	Generate(trial int) (h *core.History, seed int64, err error)
+}
+
+// GeneratorFunc adapts a function to the HistoryGenerator interface.
+type GeneratorFunc func(trial int) (*core.History, int64, error)
+
+// Generate calls the function.
+func (f GeneratorFunc) Generate(trial int) (*core.History, int64, error) { return f(trial) }
+
+// RandomGenerator is the uniform random workload generator behind
+// CheckRandomHistories: trial i runs RunRandom with seed Cfg.Seed+i·7919.
+type RandomGenerator struct {
+	Desc crdt.Descriptor
+	Cfg  WorkloadConfig
+}
+
+// Generate runs one random workload.
+func (g RandomGenerator) Generate(trial int) (*core.History, int64, error) {
+	cfg := g.Cfg
+	cfg.fill()
+	cfg.Seed = g.Cfg.Seed + int64(trial)*7919
+	h, err := RunRandom(g.Desc, cfg)
+	return h, cfg.Seed, err
+}
+
+// CheckGenerated checks trials histories drawn from the generator against the
+// descriptor's specification, using the descriptor's designated checker
+// options (overridable via o.Check). Trials are fanned across a bounded
+// worker pool sharing one engine session, and the aggregation is folded in
+// trial order, so the result is deterministic regardless of worker count or
+// completion order (given deterministic per-check options).
+func CheckGenerated(d crdt.Descriptor, gen HistoryGenerator, trials int, o Options) (HistoryCheck, error) {
+	opts := d.CheckOptions()
+	if o.Check != nil {
+		opts = *o.Check
+	}
+	return runBatch(d.Name, d.Spec, opts, trials, gen.Generate, o)
+}
+
+// CheckGeneratedAgainst is CheckGenerated against an arbitrary specification
+// and explicit checker options (o.Check is ignored) — the entry point for
+// checking generated histories against a different specification than the
+// generating descriptor's, such as the scenario library's naive-specification
+// refutation probes.
+func CheckGeneratedAgainst(name string, sp core.Spec, opts core.CheckOptions, gen HistoryGenerator, trials int, o Options) (HistoryCheck, error) {
+	return runBatch(name, sp, opts, trials, gen.Generate, o)
 }
 
 // CheckRandomHistories generates trials random histories of the CRDT and
 // checks each for RA-linearizability with the descriptor's designated
 // strategy (falling back to the other strategy and a bounded exhaustive
-// search). Trials are fanned across a bounded worker pool sharing one engine
-// session (see CheckRandomHistoriesWith for control over both).
+// search), under the default Options.
 func CheckRandomHistories(d crdt.Descriptor, trials int, cfg WorkloadConfig) (HistoryCheck, error) {
-	return CheckRandomHistoriesWith(d, trials, cfg, BatchOptions{})
+	return CheckRandomHistoriesWith(d, trials, cfg, Options{})
 }
 
-// CheckRandomHistoriesWith is CheckRandomHistories with explicit batch
-// options. Trial i always uses seed cfg.Seed+i·7919 and the aggregation is
-// folded in trial order, so the result is deterministic regardless of worker
-// count or completion order (given deterministic per-check options).
-func CheckRandomHistoriesWith(d crdt.Descriptor, trials int, cfg WorkloadConfig, batch BatchOptions) (HistoryCheck, error) {
+// CheckRandomHistoriesWith is CheckRandomHistories with explicit options: a
+// thin wrapper plugging RandomGenerator into CheckGenerated. Trial i always
+// uses seed cfg.Seed+i·7919.
+func CheckRandomHistoriesWith(d crdt.Descriptor, trials int, cfg WorkloadConfig, o Options) (HistoryCheck, error) {
 	cfg.fill()
-	opts := d.CheckOptions()
-	if batch.Check != nil {
-		opts = *batch.Check
-	}
-	gen := func(i int) (*core.History, int64, error) {
-		trialCfg := cfg
-		trialCfg.Seed = cfg.Seed + int64(i)*7919
-		h, err := RunRandom(d, trialCfg)
-		return h, trialCfg.Seed, err
-	}
-	return runBatch(d.Name, d.Spec, opts, trials, gen, batch)
+	return CheckGenerated(d, RandomGenerator{Desc: d, Cfg: cfg}, trials, o)
 }
 
 // CheckHistoryBatch checks a batch of pre-built histories against one
 // specification through the same shared-session worker pool as
 // CheckRandomHistories. The explicit opts parameter is the per-trial checker
-// configuration (batch.Check is ignored here). The failure example of trial
-// i is reported under "seed i" (the trial index).
-func CheckHistoryBatch(name string, sp core.Spec, opts core.CheckOptions, hs []*core.History, batch BatchOptions) (HistoryCheck, error) {
+// configuration (o.Check is ignored here). The failure example of trial i is
+// reported under "seed i" (the trial index).
+func CheckHistoryBatch(name string, sp core.Spec, opts core.CheckOptions, hs []*core.History, o Options) (HistoryCheck, error) {
 	gen := func(i int) (*core.History, int64, error) { return hs[i], int64(i), nil }
-	return runBatch(name, sp, opts, len(hs), gen, batch)
+	return runBatch(name, sp, opts, len(hs), gen, o)
 }
 
 // adaptiveParallelism is the policy of the adaptive batch/inner split: the
@@ -245,11 +270,8 @@ func adaptiveParallelism(gmp, workers int, pending int64) int {
 // trials over one shared engine session, and the per-trial results are folded
 // in trial order so stats, ByStrategy and the first FailureExample do not
 // depend on completion order.
-func runBatch(name string, sp core.Spec, opts core.CheckOptions, trials int, gen func(int) (*core.History, int64, error), batch BatchOptions) (HistoryCheck, error) {
-	workers := batch.Workers
-	if workers == 0 {
-		workers = batchWorkers
-	}
+func runBatch(name string, sp core.Spec, opts core.CheckOptions, trials int, gen func(int) (*core.History, int64, error), o Options) (HistoryCheck, error) {
+	workers := o.BatchWorkers
 	if workers <= 0 {
 		workers = gruntime.GOMAXPROCS(0)
 	}
@@ -259,7 +281,7 @@ func runBatch(name string, sp core.Spec, opts core.CheckOptions, trials int, gen
 	if workers < 1 {
 		workers = 1
 	}
-	opts = checkTuning(opts)
+	opts = o.Tune(opts)
 	// Adaptive batch/inner split: divide the cores between the batch pool
 	// and each check's inner search rather than oversubscribing, and re-widen
 	// the inner searches as the batch drains. A wide batch (pending trials ≥
@@ -276,7 +298,7 @@ func runBatch(name string, sp core.Spec, opts core.CheckOptions, trials int, gen
 	var pending atomic.Int64
 	pending.Store(int64(trials))
 	var sess *search.Session
-	if !batch.FreshSessions {
+	if !o.FreshSessions {
 		sess = search.NewSession()
 	}
 

@@ -1,0 +1,155 @@
+package scenario
+
+import "fmt"
+
+// PartitionHeal is the split-brain classic: an OR-Set warms up connected,
+// splits into {r0} vs {r1, r2} while both sides add and remove a hot element,
+// then heals and settles. Checked naively (removes as plain Set updates, as
+// in Figure 5a), the concurrent add/remove races the partition manufactures
+// are refuted — the anomaly uniform random generation only stumbles into.
+func PartitionHeal() Scenario {
+	return Scenario{
+		Name:        "partition-heal",
+		Description: "split-brain OR-Set add/remove races over a two-element alphabet, healed and read everywhere",
+		CRDT:        "OR-Set",
+		Replicas:    3,
+		// The naive-Set refutation needs a cross-race over two elements
+		// (Figure 5a's shape: one side orders add(b) before remove(a), the
+		// other add(a) before remove(b)), so the alphabet is exactly {a, b}
+		// and no hot-element skew thins either element out.
+		Elems: []string{"a", "b"},
+		Mode:  ModeNaive,
+		Phases: []Phase{
+			{Name: "warm", Ops: 2, DeliverProb: 50},
+			{
+				Name: "split", Ops: 12,
+				Partition:   [][]int{{0}, {1, 2}},
+				DeliverProb: 80,
+				Heal:        true, ReadAll: true,
+			},
+			{Name: "settle", Ops: 2, DeliverProb: 60},
+		},
+	}
+}
+
+// RollingRestart pauses one PN-Counter replica at a time while the survivors
+// keep counting over a lossy link, then heals. Each restarted replica
+// re-enters with a stale frontier, so the history's visibility relation is a
+// braid of wide antichains: the exhaustive check explores far more prefixes
+// than on a uniform workload of the same size.
+func RollingRestart() Scenario {
+	return Scenario{
+		Name:        "rolling-restart",
+		Description: "PN-Counter replica churn: one replica down per phase over a lossy link",
+		CRDT:        "PN-Counter",
+		Replicas:    3,
+		Mode:        ModeExhaustive,
+		Phases: []Phase{
+			{Name: "r0-down", Ops: 4, Paused: []int{0}, DeliverProb: 25, DropProb: 30},
+			{Name: "r1-down", Ops: 4, Paused: []int{1}, DeliverProb: 25, DropProb: 30},
+			{Name: "r2-down", Ops: 4, Paused: []int{2}, DeliverProb: 25, DropProb: 30, Heal: true, ReadAll: true},
+		},
+	}
+}
+
+// HotKey skews an HLC-timestamped LWW-Element-Set towards one element while
+// a minority partition and per-replica clock skew stretch the timestamp
+// order away from the delivery order. The designated timestamp-order
+// strategy must still find witnesses (the HLC preserves the generator
+// contract); the history's clustered add/remove conflicts on the hot element
+// are what make its exhaustive probe expensive.
+func HotKey() Scenario {
+	return Scenario{
+		Name:        "hot-key",
+		Description: "LWW-Element-Set updates skewed onto one key under HLC clock skew and a minority partition",
+		CRDT:        "LWW-Element Set",
+		Replicas:    3,
+		UseHLC:      true,
+		ClockSkew:   4,
+		Mode:        ModeDesignated,
+		Phases: []Phase{
+			{Name: "drift", Ops: 5, DeliverProb: 20, HotElem: "a", HotElemBias: 80},
+			{
+				Name: "contend", Ops: 5,
+				Partition:   [][]int{{0, 1}, {2}},
+				DeliverProb: 20,
+				HotElem:     "a", HotElemBias: 80,
+				Heal: true,
+			},
+			{Name: "read", Ops: 3, DeliverProb: 60},
+		},
+	}
+}
+
+// LongForkAttempt drives a two-replica multi-value register through a full
+// partition while both sides write, then heals and reads: the merged state
+// holds incomparably-versioned values, so reads return multiple values.
+// Checked naively against the single-value register specification, every
+// such read is a refutation — the long-fork anomaly made flesh.
+func LongForkAttempt() Scenario {
+	return Scenario{
+		Name:        "long-fork-attempt",
+		Description: "fully partitioned MV-Register writes, healed into multi-value reads",
+		CRDT:        "Multi-Value Reg.",
+		Replicas:    2,
+		Mode:        ModeNaive,
+		Phases: []Phase{
+			{
+				Name: "fork", Ops: 6,
+				Partition:   [][]int{{0}, {1}},
+				DeliverProb: 40, // attempted, but no link crosses the fork
+				Heal:        true, ReadAll: true,
+			},
+			{Name: "observe", Ops: 3, DeliverProb: 70},
+		},
+	}
+}
+
+// ConvergenceStorm starves an RGA of deliveries while every replica inserts
+// concurrently, then heals all at once — the convergence storm. The healed
+// reads pin down a merged order over a near-total antichain of inserts, which
+// is the worst case for the exhaustive search's frontier exploration.
+func ConvergenceStorm() Scenario {
+	return Scenario{
+		Name:        "convergence-storm",
+		Description: "RGA inserts with deliveries starved, then healed at once into reads",
+		CRDT:        "RGA",
+		Replicas:    3,
+		Mode:        ModeExhaustive,
+		Phases: []Phase{
+			{Name: "storm", Ops: 7, DeliverProb: 5, Heal: true, ReadAll: true},
+			{Name: "read", Ops: 2, DeliverProb: 70},
+		},
+	}
+}
+
+// All returns every named scenario in library order.
+func All() []Scenario {
+	return []Scenario{
+		PartitionHeal(),
+		RollingRestart(),
+		HotKey(),
+		LongForkAttempt(),
+		ConvergenceStorm(),
+	}
+}
+
+// Lookup returns the named scenario.
+func Lookup(name string) (Scenario, error) {
+	for _, sc := range All() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("scenario: unknown scenario %q", name)
+}
+
+// Names lists the scenario names in library order.
+func Names() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, sc := range all {
+		out[i] = sc.Name
+	}
+	return out
+}

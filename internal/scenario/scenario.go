@@ -1,0 +1,484 @@
+// Package scenario is the fault-schedule workload engine: it drives the
+// operation-based (runtime.System) and state-based (runtime.SBSystem)
+// executors under an explicit, seed-deterministic schedule of faults —
+// network partitions (split-brain then heal), per-link message delay, drop
+// and duplication, replica churn (pause/resume) and hot-key skew — and
+// extracts the induced visibility histories for RA-linearizability checking.
+//
+// Uniform random workloads (harness.RunRandom) spread concurrency evenly;
+// real replicated stores cluster it. A partition accumulates two divergent
+// sets of updates and releases them at once on heal; a paused replica falls
+// behind and re-enters with a stale frontier; a hot key focuses conflicting
+// updates on one element. Those clustered shapes are exactly what drives the
+// checker into its expensive regions (wide antichains, deep exhaustive
+// refutations), so the named scenarios in this package (see library.go)
+// produce higher search-node counts and more naive-specification refutations
+// than uniform generation at the same operation count.
+//
+// Scenarios plug into the harness batch pipeline through Generator, which
+// implements harness.HistoryGenerator; the histories a scenario produces are
+// checked according to its Mode (see check.go) and the hardest ones are
+// serialized to testdata/corpus/ (see corpus.go) as a regression set.
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ralin/internal/clock"
+	"ralin/internal/core"
+	"ralin/internal/crdt"
+	"ralin/internal/crdt/registry"
+	"ralin/internal/runtime"
+)
+
+// Phase is one stage of a fault schedule. Ops operations are issued at
+// non-paused replicas, interleaved with propagation steps that respect the
+// phase's partition, pause set and per-link fault probabilities; when Heal is
+// set, the phase ends by reconnecting everything and delivering every pending
+// message (the convergence storm).
+type Phase struct {
+	// Name identifies the phase in diagnostics.
+	Name string
+	// Ops is the number of operations issued during the phase.
+	Ops int
+	// Partition groups replica indices into disjoint connection components;
+	// messages only propagate within a component. Replicas not listed in any
+	// group form singleton components (fully isolated). A nil Partition
+	// connects everything.
+	Partition [][]int
+	// Paused lists replicas that are down for the phase: they issue no
+	// operations and neither send nor receive.
+	Paused []int
+	// DeliverProb is the per-operation probability (percent) of attempting
+	// one propagation step after the operation.
+	DeliverProb int
+	// DropProb is the probability (percent) that an attempted propagation
+	// step loses its message. For operation-based objects causal delivery
+	// makes true loss unrepresentable, so a drop is a delay: the effector
+	// stays pending. For state-based objects the state snapshot is sent but
+	// not received; idempotent merge lets the duplication path re-deliver it
+	// later, so a drop doubles as delayed delivery.
+	DropProb int
+	// DupProb is the probability (percent) that a propagation step
+	// re-delivers a previously sent state snapshot instead of sending a
+	// fresh one (state-based objects only; operation-based effectors are
+	// applied at most once per replica by the semantics of Figure 7).
+	DupProb int
+	// HotElem, when HotElemBias > 0, is the element the workload skews
+	// towards: with probability HotElemBias percent an operation draws its
+	// element from {HotElem} instead of the scenario alphabet.
+	HotElem string
+	// HotElemBias is the hot-element skew in percent.
+	HotElemBias int
+	// HotReplica, when HotReplicaBias > 0, is the replica the workload skews
+	// towards: with probability HotReplicaBias percent an operation is
+	// issued there instead of at a uniformly chosen active replica.
+	HotReplica int
+	// HotReplicaBias is the hot-replica skew in percent.
+	HotReplicaBias int
+	// Heal reconnects all replicas (including paused ones) at the end of the
+	// phase and delivers everything pending.
+	Heal bool
+	// ReadAll issues a read at every replica after the phase's operations
+	// (and after Heal, if set), pinning down what each replica observed at
+	// that point — the observation a refutation or a wide-frontier search
+	// hinges on, which random operation draws would only sometimes make.
+	ReadAll bool
+}
+
+// Scenario is a named fault schedule over one CRDT.
+type Scenario struct {
+	// Name identifies the scenario (for the -scenario flags and the corpus).
+	Name string
+	// Description is a one-line summary for -list-scenarios.
+	Description string
+	// CRDT is the registry name of the data type the scenario drives.
+	CRDT string
+	// Replicas is the deployment size (default 3).
+	Replicas int
+	// Elems is the element alphabet (default a, b, c). It must not contain
+	// "|", which the naive register transform uses as a join marker.
+	Elems []string
+	// Phases is the fault schedule.
+	Phases []Phase
+	// UseHLC timestamps the execution with a hybrid logical clock whose
+	// physical component advances one tick per issued operation, skewed per
+	// replica by up to ClockSkew ticks — realistic clock behaviour for the
+	// timestamp-order linearization strategy to chew on.
+	UseHLC bool
+	// ClockSkew bounds the per-replica physical clock skew (in ticks) when
+	// UseHLC is set.
+	ClockSkew uint64
+	// Mode selects how the scenario's histories are checked (see check.go).
+	Mode Mode
+}
+
+// Run executes the scenario once under the given seed and returns the induced
+// history. Runs are deterministic: one seeded generator drives every choice
+// (operations, delivery, faults, clock skew), all candidate sets are built in
+// sorted replica/message order, and no wall-clock input exists, so the same
+// scenario and seed yield a byte-identical history.
+func Run(sc Scenario, seed int64) (*core.History, error) {
+	d, err := registry.Lookup(sc.CRDT)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+	if sc.Replicas <= 0 {
+		sc.Replicas = 3
+	}
+	elems := sc.Elems
+	if len(elems) == 0 {
+		elems = []string{"a", "b", "c"}
+	}
+	e := &engine{
+		d:     d,
+		n:     sc.Replicas,
+		elems: elems,
+		rng:   rand.New(rand.NewSource(seed)),
+		ts:    make(map[uint64]clock.Timestamp),
+	}
+	cfg := runtime.Config{Replicas: sc.Replicas}
+	if sc.UseHLC {
+		skew := make([]uint64, sc.Replicas)
+		for i := range skew {
+			if sc.ClockSkew > 0 {
+				skew[i] = uint64(e.rng.Int63n(int64(sc.ClockSkew) + 1))
+			}
+		}
+		e.hlc = clock.NewHLC(func(r clock.ReplicaID) uint64 {
+			return e.steps + skew[int(r)]
+		})
+		cfg.Clock = e.hlc
+	}
+	if d.OpType != nil {
+		e.op = d.NewOpSystem(cfg)
+	} else {
+		e.sb = d.NewSBSystem(cfg)
+	}
+	for i := range sc.Phases {
+		p := &sc.Phases[i]
+		if err := e.runPhase(p); err != nil {
+			return nil, fmt.Errorf("scenario %s, phase %s: %w", sc.Name, p.Name, err)
+		}
+	}
+	if e.op != nil {
+		return e.op.History(), nil
+	}
+	return e.sb.History(), nil
+}
+
+// engine is the per-run state of the scenario executor.
+type engine struct {
+	d     crdt.Descriptor
+	n     int
+	elems []string
+	rng   *rand.Rand
+	op    *runtime.System
+	sb    *runtime.SBSystem
+	hlc   *clock.HLC
+	// steps is the physical clock: it advances one tick per issued
+	// operation, so HLC physical components track execution progress instead
+	// of wall time (which would break determinism).
+	steps uint64
+	// ts records the timestamp generated by each invocation, so deliveries
+	// can report it to the HLC (preserving the Figure 7 generator contract:
+	// fresh timestamps dominate everything visible at the origin).
+	ts map[uint64]clock.Timestamp
+}
+
+// groupsOf maps each replica index to its connection component under the
+// phase's partition.
+func groupsOf(p *Phase, n int) []int {
+	g := make([]int, n)
+	if len(p.Partition) == 0 {
+		return g // all zero: one component
+	}
+	for i := range g {
+		g[i] = -1
+	}
+	for gi, grp := range p.Partition {
+		for _, r := range grp {
+			if r >= 0 && r < n {
+				g[r] = gi
+			}
+		}
+	}
+	next := len(p.Partition)
+	for i := range g {
+		if g[i] == -1 {
+			g[i] = next // unlisted replicas are isolated
+			next++
+		}
+	}
+	return g
+}
+
+func (e *engine) runPhase(p *Phase) error {
+	groups := groupsOf(p, e.n)
+	paused := make([]bool, e.n)
+	for _, r := range p.Paused {
+		if r >= 0 && r < e.n {
+			paused[r] = true
+		}
+	}
+	var active []clock.ReplicaID
+	for r := 0; r < e.n; r++ {
+		if !paused[r] {
+			active = append(active, clock.ReplicaID(r))
+		}
+	}
+	if p.Ops > 0 && len(active) == 0 {
+		return fmt.Errorf("every replica is paused but the phase issues operations")
+	}
+	for i := 0; i < p.Ops; i++ {
+		e.steps++
+		r := active[e.rng.Intn(len(active))]
+		if p.HotReplicaBias > 0 && e.rng.Intn(100) < p.HotReplicaBias {
+			hot := clock.ReplicaID(p.HotReplica)
+			if int(hot) < e.n && !paused[hot] {
+				r = hot
+			}
+		}
+		if err := e.invoke(p, r); err != nil {
+			return err
+		}
+		if e.rng.Intn(100) < p.DeliverProb {
+			e.propagate(p, groups, paused)
+		}
+	}
+	if p.Heal {
+		if err := e.heal(); err != nil {
+			return err
+		}
+	}
+	if p.ReadAll {
+		for r := 0; r < e.n; r++ {
+			e.steps++
+			var l *core.Label
+			var err error
+			if e.op != nil {
+				l, err = e.op.Invoke(clock.ReplicaID(r), "read")
+			} else {
+				l, err = e.sb.Invoke(clock.ReplicaID(r), "read")
+			}
+			if err != nil {
+				return fmt.Errorf("read at replica %d: %w", r, err)
+			}
+			if e.hlc != nil && l != nil && !l.TS.IsBottom() {
+				e.ts[l.ID] = l.TS
+			}
+		}
+	}
+	return nil
+}
+
+// pinned restricts an invoker to a single replica, so the descriptor's
+// RandomOp issues its operation exactly where the schedule decided.
+type pinned struct {
+	crdt.Invoker
+	r clock.ReplicaID
+}
+
+// Replicas returns only the pinned replica.
+func (p pinned) Replicas() []clock.ReplicaID { return []clock.ReplicaID{p.r} }
+
+func (e *engine) invoke(p *Phase, r clock.ReplicaID) error {
+	elems := e.elems
+	if p.HotElemBias > 0 && p.HotElem != "" && e.rng.Intn(100) < p.HotElemBias {
+		elems = []string{p.HotElem}
+	}
+	var sys crdt.Invoker
+	if e.op != nil {
+		sys = pinned{Invoker: e.op, r: r}
+	} else {
+		sys = pinned{Invoker: e.sb, r: r}
+	}
+	l, err := e.d.RandomOp(e.rng, sys, elems)
+	if err != nil {
+		return fmt.Errorf("%s operation at replica %d: %w", e.d.Name, r, err)
+	}
+	if e.hlc != nil && l != nil && !l.TS.IsBottom() {
+		e.ts[l.ID] = l.TS
+	}
+	return nil
+}
+
+// propagate attempts one propagation step under the phase's faults.
+func (e *engine) propagate(p *Phase, groups []int, paused []bool) {
+	if e.op != nil {
+		e.propagateOp(p, groups, paused)
+	} else {
+		e.propagateSB(p, groups, paused)
+	}
+}
+
+// propagateOp delivers one pending effector whose origin and destination are
+// connected (same partition component, neither paused). A drop leaves the
+// effector pending — causal delivery makes op-based loss indistinguishable
+// from delay.
+func (e *engine) propagateOp(p *Phase, groups []int, paused []bool) {
+	if p.DropProb > 0 && e.rng.Intn(100) < p.DropProb {
+		return
+	}
+	type choice struct {
+		r  clock.ReplicaID
+		id uint64
+	}
+	var choices []choice
+	for _, r := range e.op.Replicas() {
+		if paused[int(r)] {
+			continue
+		}
+		for _, l := range e.op.Pending(r) {
+			if !e.op.Deliverable(r, l.ID) {
+				continue
+			}
+			if paused[int(l.Origin)] || groups[int(l.Origin)] != groups[int(r)] {
+				continue
+			}
+			choices = append(choices, choice{r, l.ID})
+		}
+	}
+	if len(choices) == 0 {
+		return
+	}
+	c := choices[e.rng.Intn(len(choices))]
+	if err := e.op.Deliver(c.r, c.id); err == nil {
+		e.observe(c.r, c.id)
+	}
+}
+
+// propagateSB exchanges state between one connected ordered pair, subject to
+// drop (snapshot sent, never received) and duplication (an old snapshot from
+// a connected sender is re-delivered; merge idempotence makes this safe and
+// turns earlier drops into delays).
+func (e *engine) propagateSB(p *Phase, groups []int, paused []bool) {
+	type pair struct{ from, to clock.ReplicaID }
+	var pairs []pair
+	for _, a := range e.sb.Replicas() {
+		if paused[int(a)] {
+			continue
+		}
+		for _, b := range e.sb.Replicas() {
+			if a == b || paused[int(b)] || groups[int(a)] != groups[int(b)] {
+				continue
+			}
+			pairs = append(pairs, pair{a, b})
+		}
+	}
+	if len(pairs) == 0 {
+		return
+	}
+	pr := pairs[e.rng.Intn(len(pairs))]
+	if p.DupProb > 0 && e.rng.Intn(100) < p.DupProb {
+		var olds []uint64
+		for _, id := range e.sb.Messages() {
+			m := e.sb.Message(id)
+			from := int(m.From)
+			if m.From == pr.to || paused[from] || groups[from] != groups[int(pr.to)] {
+				continue
+			}
+			olds = append(olds, id)
+		}
+		if len(olds) > 0 {
+			id := olds[e.rng.Intn(len(olds))]
+			if err := e.sb.Receive(pr.to, id); err == nil {
+				e.observeMsg(pr.to, id)
+			}
+			return
+		}
+	}
+	m, err := e.sb.Send(pr.from)
+	if err != nil {
+		return
+	}
+	if p.DropProb > 0 && e.rng.Intn(100) < p.DropProb {
+		return
+	}
+	if err := e.sb.Receive(pr.to, m.ID); err == nil {
+		e.observeMsg(pr.to, m.ID)
+	}
+}
+
+// heal reconnects everything (ending partitions and pauses) and delivers
+// every pending message, reporting each delivery to the HLC.
+func (e *engine) heal() error {
+	if e.op != nil {
+		for {
+			progress := false
+			for _, r := range e.op.Replicas() {
+				for {
+					delivered := false
+					for _, l := range e.op.Pending(r) {
+						if !e.op.Deliverable(r, l.ID) {
+							continue
+						}
+						if err := e.op.Deliver(r, l.ID); err != nil {
+							return err
+						}
+						e.observe(r, l.ID)
+						delivered = true
+						progress = true
+						break
+					}
+					if !delivered {
+						break
+					}
+				}
+			}
+			if !progress {
+				return nil
+			}
+		}
+	}
+	rs := e.sb.Replicas()
+	for round := 0; round <= len(rs); round++ {
+		if e.sb.Converged() {
+			return nil
+		}
+		for _, r := range rs {
+			m, err := e.sb.Send(r)
+			if err != nil {
+				return err
+			}
+			for _, to := range rs {
+				if to == r {
+					continue
+				}
+				if err := e.sb.Receive(to, m.ID); err != nil {
+					return err
+				}
+				e.observeMsg(to, m.ID)
+			}
+		}
+	}
+	return nil
+}
+
+// observe reports a delivered effector's timestamp to the HLC.
+func (e *engine) observe(r clock.ReplicaID, id uint64) {
+	if e.hlc == nil {
+		return
+	}
+	if ts, ok := e.ts[id]; ok {
+		e.hlc.Observe(r, ts)
+	}
+}
+
+// observeMsg reports every timestamp carried by a merged state snapshot to
+// the HLC.
+func (e *engine) observeMsg(r clock.ReplicaID, msgID uint64) {
+	if e.hlc == nil {
+		return
+	}
+	m := e.sb.Message(msgID)
+	if m == nil {
+		return
+	}
+	for id := range m.Labels {
+		if ts, ok := e.ts[id]; ok {
+			e.hlc.Observe(r, ts)
+		}
+	}
+}

@@ -81,4 +81,4 @@ func Table() ([]harness.Fig12Row, error) {
 }
 
 // Experiments regenerates every worked figure of the paper.
-func Experiments() []Experiment { return harness.Experiments() }
+func Experiments() []Experiment { return harness.Experiments(harness.Options{}) }
