@@ -407,6 +407,52 @@ func BenchmarkEngineNonLinearizable(b *testing.B) {
 	}
 }
 
+// BenchmarkDegradedRefutation measures the cost of the memory-budget
+// degraded mode on the gated refutation workload: the same sequential pruned
+// refutation with full memoization, with memoization disabled outright, and
+// through a session whose budget trips on the first interned state (the
+// graceful-degradation path the fail-safe machinery falls back to). The
+// checks/refute metric makes the Nodes delta of memo-less search visible.
+// Deliberately NOT part of BENCH_GATE_PATTERN: degraded mode trades speed for
+// bounded memory by design.
+func BenchmarkDegradedRefutation(b *testing.B) {
+	h := nonLinearizableHistory(7)
+	sp := spec.Counter{}
+	base := core.CheckOptions{Exhaustive: true, Engine: core.EnginePruned, Parallelism: 1}
+	variants := []struct {
+		name string
+		opts func() core.CheckOptions
+	}{
+		{"memo", func() core.CheckOptions { return base }},
+		{"memo-less", func() core.CheckOptions {
+			o := base
+			o.DisableMemo = true
+			return o
+		}},
+		{"budget-tripped", func() core.CheckOptions {
+			o := base
+			o.Session = search.NewSessionWithBudget(search.Budget{MaxInternedStates: 1})
+			return o
+		}},
+	}
+	for _, v := range variants {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			opts := v.opts()
+			nodes := 0
+			for i := 0; i < b.N; i++ {
+				res := core.CheckRA(h, sp, opts)
+				if res.OK || !res.Complete {
+					b.Fatalf("history must be refuted completely: %+v", res)
+				}
+				nodes = res.Nodes
+			}
+			b.ReportMetric(float64(nodes), "checks/refute")
+		})
+	}
+}
+
 // BenchmarkProofObligations measures the executable proof-obligation checking
 // (the Boogie substitute of Section 6) for one operation-based and one
 // state-based CRDT.

@@ -1,17 +1,20 @@
 // Package cliflags factors the flag wiring shared by the cmd/ralin-* tools:
-// the checker/batch flags (-engine, -parallel, -batch-workers) that resolve
-// to a harness.Options value, the -seed flag, and the scenario selection
-// flags (-scenario, -list-scenarios) backed by the internal/scenario library.
+// the checker/batch flags (-engine, -parallel, -batch-workers) and resource
+// limits (-timeout, -max-interned, -max-memo-mb) that resolve to a
+// harness.Options value, the -seed flag, and the scenario selection flags
+// (-scenario, -list-scenarios) backed by the internal/scenario library.
 package cliflags
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"time"
 
 	"ralin/internal/core"
 	"ralin/internal/harness"
 	"ralin/internal/scenario"
+	"ralin/internal/search"
 )
 
 // Common holds the checker/batch flags shared by every tool.
@@ -19,14 +22,21 @@ type Common struct {
 	engine       *string
 	parallel     *int
 	batchWorkers *int
+	timeout      *time.Duration
+	maxInterned  *int
+	maxMemoMB    *int
 }
 
-// AddCommon registers -engine, -parallel and -batch-workers on the flag set.
+// AddCommon registers -engine, -parallel, -batch-workers and the resource
+// limit flags (-timeout, -max-interned, -max-memo-mb) on the flag set.
 func AddCommon(fs *flag.FlagSet) *Common {
 	return &Common{
 		engine:       fs.String("engine", "auto", "exhaustive-search engine: auto, pruned or legacy"),
 		parallel:     fs.Int("parallel", 0, "pruned-engine worker goroutines sharing one memo table via work stealing (0 = GOMAXPROCS)"),
 		batchWorkers: fs.Int("batch-workers", 0, "goroutines checking histories of one batch concurrently over a shared engine session (0 = GOMAXPROCS, 1 = sequential)"),
+		timeout:      fs.Duration("timeout", 0, "wall-clock budget for the whole run; trials past the deadline report verdict unknown instead of hanging (0 = none)"),
+		maxInterned:  fs.Int("max-interned", 0, "memory budget: max distinct interned abstract states per session before searches degrade to memo-less mode (0 = unlimited)"),
+		maxMemoMB:    fs.Int("max-memo-mb", 0, "memory budget: approximate MiB of live memoization entries per session before searches degrade to memo-less mode (0 = unlimited)"),
 	}
 }
 
@@ -40,7 +50,53 @@ func (c *Common) Options() (harness.Options, error) {
 		Engine:       eng,
 		Parallelism:  *c.parallel,
 		BatchWorkers: *c.batchWorkers,
+		Timeout:      *c.timeout,
+		Budget: search.Budget{
+			MaxInternedStates: *c.maxInterned,
+			MaxMemoBytes:      int64(*c.maxMemoMB) << 20,
+		},
 	}, nil
+}
+
+// ExitCodesDoc is the exit-code contract of the verdict-aware checking tools
+// (ralin-check, ralin-scenario), appended to their -h output so CI scripts
+// can gate on verdicts.
+const ExitCodesDoc = `
+exit codes:
+  0  every history valid (or, under -scenario, refutations were expected)
+  1  at least one definitively invalid history (unexpected refutation)
+  2  at least one unknown verdict (deadline, memory/node budget, cancellation
+     or recovered panic truncated the check; also used by flag-usage errors)
+  3  operational error (bad arguments, generator failure, I/O)
+`
+
+// DocumentExitCodes appends ExitCodesDoc to the flag set's usage output.
+func DocumentExitCodes(fs *flag.FlagSet) {
+	prev := fs.Usage
+	fs.Usage = func() {
+		if prev != nil {
+			prev()
+		} else {
+			fmt.Fprintf(fs.Output(), "Usage of %s:\n", fs.Name())
+			fs.PrintDefaults()
+		}
+		fmt.Fprint(fs.Output(), ExitCodesDoc)
+	}
+}
+
+// VerdictExitCode maps a batch result to the documented exit code:
+// Invalid (1) dominates Unknown (2) dominates Valid (0); expectRefutations
+// (the naive-specification scenario modes) makes Invalid the expected finding
+// rather than a failure. Operational errors (exit 3) are the caller's to
+// report — they never reach a HistoryCheck.
+func VerdictExitCode(res harness.HistoryCheck, expectRefutations bool) int {
+	if res.Invalid > 0 && !expectRefutations {
+		return 1
+	}
+	if res.Unknown > 0 {
+		return 2
+	}
+	return 0
 }
 
 // Engine returns the resolved engine (for reporting).

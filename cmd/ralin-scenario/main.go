@@ -12,6 +12,10 @@
 //	ralin-scenario -scenario partition-heal -trials 50
 //	ralin-scenario -all -harvest testdata/corpus -trials 40 -keep 2
 //	ralin-scenario -list-scenarios
+//
+// The exit code distinguishes the worst verdict across the scenarios run —
+// 0 all as expected, 1 unexpected refutation, 2 unknown verdicts,
+// 3 operational error — see the -h output.
 package main
 
 import (
@@ -33,6 +37,7 @@ func main() {
 	harvest := flag.String("harvest", "", "harvest the most interesting histories into this corpus directory instead of batch-checking")
 	common := cliflags.AddCommon(flag.CommandLine)
 	scen := cliflags.AddScenario(flag.CommandLine)
+	cliflags.DocumentExitCodes(flag.CommandLine)
 	flag.Parse()
 
 	if scen.HandleList(os.Stdout) {
@@ -56,7 +61,7 @@ func main() {
 		scenarios = []scenario.Scenario{sc}
 	default:
 		fmt.Fprintln(os.Stderr, "ralin-scenario: pick -scenario NAME or -all (see -list-scenarios)")
-		os.Exit(2)
+		os.Exit(3)
 	}
 
 	if *harvest != "" {
@@ -66,27 +71,37 @@ func main() {
 		return
 	}
 
-	failed := 0
+	// The process exit code is the worst verdict across scenarios:
+	// unexpected refutations (1) dominate unknowns (2) dominate clean runs.
+	failed, unknown := 0, 0
 	for _, sc := range scenarios {
-		if !runScenario(sc, o, *seed, *trials) {
+		switch runScenario(sc, o, *seed, *trials) {
+		case 1:
 			failed++
+		case 2:
+			unknown++
 		}
 	}
-	if failed > 0 {
+	switch {
+	case failed > 0:
 		fmt.Fprintf(os.Stderr, "ralin-scenario: %d scenario(s) produced unexpected verdicts\n", failed)
 		os.Exit(1)
+	case unknown > 0:
+		fmt.Fprintf(os.Stderr, "ralin-scenario: %d scenario(s) left unknown verdicts (deadline/budget/panic)\n", unknown)
+		os.Exit(2)
 	}
 }
 
+// fatal reports an operational error (exit 3 per the documented contract).
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "ralin-scenario:", err)
-	os.Exit(1)
+	os.Exit(3)
 }
 
-// runScenario batch-checks trials histories of one scenario and prints a
-// summary line. Refutations are the expected outcome of naive-mode scenarios
-// and unexpected anywhere else.
-func runScenario(sc scenario.Scenario, o harness.Options, seed int64, trials int) bool {
+// runScenario batch-checks trials histories of one scenario, prints a summary
+// line, and returns the scenario's verdict exit code (0/1/2). Refutations are
+// the expected outcome of naive-mode scenarios and unexpected anywhere else.
+func runScenario(sc scenario.Scenario, o harness.Options, seed int64, trials int) int {
 	plan, err := sc.Plan()
 	if err != nil {
 		fatal(err)
@@ -96,20 +111,24 @@ func runScenario(sc scenario.Scenario, o harness.Options, seed int64, trials int
 	if err != nil {
 		fatal(err)
 	}
-	refuted := res.Histories - res.Linearizable
 	fmt.Printf("%-20s %s vs %s (%s mode): %d histories, %d ops, %d nodes",
 		sc.Name, sc.CRDT, plan.SpecName, sc.Mode, res.Histories, res.Operations, res.Nodes)
 	switch {
-	case refuted == 0:
-		fmt.Println(", all RA-linearizable")
-		return true
-	case plan.ExpectRefutations:
-		fmt.Printf(", %d refuted as intended (e.g. %s)\n", refuted, res.FailureExample)
-		return true
-	default:
-		fmt.Printf(", %d UNEXPECTED refutations (e.g. %s)\n", refuted, res.FailureExample)
-		return false
+	case res.Invalid > 0 && plan.ExpectRefutations:
+		fmt.Printf(", %d refuted as intended (e.g. %s)", res.Invalid, res.FailureExample)
+	case res.Invalid > 0:
+		fmt.Printf(", %d UNEXPECTED refutations (e.g. %s)", res.Invalid, res.FailureExample)
+	case res.Unknown == 0:
+		fmt.Print(", all RA-linearizable")
 	}
+	if res.Unknown > 0 {
+		fmt.Printf(", %d unknown", res.Unknown)
+		for reason, n := range res.UnknownByReason {
+			fmt.Printf(" [%s: %d]", reason, n)
+		}
+	}
+	fmt.Println()
+	return cliflags.VerdictExitCode(res, plan.ExpectRefutations)
 }
 
 // harvestCorpus refreshes dir with the keep most interesting entries per

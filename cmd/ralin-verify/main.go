@@ -141,11 +141,16 @@ func main() {
 				} else {
 					fmt.Printf("ok (%d candidates, engine %s)\n", hc.Tried, eng)
 				}
-			case useScenario && plan.ExpectRefutations:
+			case useScenario && plan.ExpectRefutations && hc.Invalid > 0 && hc.Unknown == 0:
 				// Naive-mode scenarios exist to provoke refutations; report
 				// them as findings rather than failing the obligation run.
 				fmt.Printf("refuted %d/%d vs naive %s spec, as intended (e.g. %s)\n",
-					hc.Histories-hc.Linearizable, hc.Histories, plan.SpecName, hc.FailureExample)
+					hc.Invalid, hc.Histories, plan.SpecName, hc.FailureExample)
+			case hc.Invalid == 0:
+				// No definitive refutation, but some trials were truncated by
+				// a deadline, budget or panic: the check is inconclusive.
+				fmt.Printf("UNKNOWN for %d/%d (%s)\n", hc.Unknown, hc.Histories, hc.UnknownExample)
+				failed++
 			default:
 				fmt.Printf("FAILED (%s)\n", hc.FailureExample)
 				failed++

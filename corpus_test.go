@@ -8,10 +8,13 @@ package ralin
 // an engine divergence shows up here before it ships.
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"ralin/internal/core"
 	"ralin/internal/scenario"
+	"ralin/internal/search"
 )
 
 const corpusDir = "testdata/corpus"
@@ -47,6 +50,73 @@ func TestScenarioCorpusReplay(t *testing.T) {
 				paths[i], res.OK, e.RALinearizable, e.Scenario, e.Seed, e.Spec)
 		}
 	}
+}
+
+// TestScenarioCorpusFailSafe replays the whole corpus under hostile resource
+// limits and asserts the fail-safe contract: no crash, no wrong verdict —
+// every entry comes back Unknown with a populated Incomplete reason. The CI
+// workflow runs this under the race detector.
+func TestScenarioCorpusFailSafe(t *testing.T) {
+	entries, paths := loadCorpus(t)
+
+	t.Run("deadline", func(t *testing.T) {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+		defer cancel()
+		<-ctx.Done() // expire first, so every entry deterministically hits it
+		for i, e := range entries {
+			h, err := e.History()
+			if err != nil {
+				t.Fatalf("%s: %v", paths[i], err)
+			}
+			plan, err := e.Plan()
+			if err != nil {
+				t.Fatalf("%s: %v", paths[i], err)
+			}
+			opts := plan.Options
+			opts.Context = ctx
+			res := core.CheckRA(h, plan.Spec, opts)
+			if res.Verdict != core.VerdictUnknown {
+				t.Errorf("%s: expired deadline must yield Unknown, got %v (%+v)", paths[i], res.Verdict, res.Incomplete)
+				continue
+			}
+			if res.Incomplete == nil || res.Incomplete.Reason != core.ReasonDeadline {
+				t.Errorf("%s: want ReasonDeadline, got %+v", paths[i], res.Incomplete)
+			}
+		}
+	})
+
+	t.Run("mem-budget", func(t *testing.T) {
+		sess := search.NewSessionWithBudget(search.Budget{MaxInternedStates: 1, MaxMemoBytes: 1})
+		for i, e := range entries {
+			h, err := e.History()
+			if err != nil {
+				t.Fatalf("%s: %v", paths[i], err)
+			}
+			plan, err := e.Plan()
+			if err != nil {
+				t.Fatalf("%s: %v", paths[i], err)
+			}
+			opts := plan.Options
+			opts.Strategies = nil // force the search; a constructive witness would dodge the budget
+			opts.Exhaustive = true
+			opts.Engine = core.EnginePruned
+			opts.Parallelism = 1
+			opts.MaxNodes = 1 // the degraded, memo-less search must then truncate
+			opts.Session = sess
+			res := core.CheckRA(h, plan.Spec, opts)
+			if res.Verdict != core.VerdictUnknown {
+				t.Errorf("%s: tripped budget must yield Unknown, got %v (%+v)", paths[i], res.Verdict, res.Incomplete)
+				continue
+			}
+			if res.Incomplete == nil || res.Incomplete.Reason == "" {
+				t.Errorf("%s: Unknown verdict must carry a reason: %+v", paths[i], res.Incomplete)
+				continue
+			}
+			if r := res.Incomplete.Reason; r != core.ReasonMemBudget && r != core.ReasonNodeBudget {
+				t.Errorf("%s: want mem-budget/node-budget reason, got %q", paths[i], r)
+			}
+		}
+	})
 }
 
 // TestScenarioCorpusEnginesAgree checks every corpus entry with the pruned

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -91,6 +92,13 @@ type EngineSession interface {
 
 // CheckOptions configures the RA-linearizability checker.
 type CheckOptions struct {
+	// Context carries the caller's deadline and cancellation into the check.
+	// When it expires or is cancelled, every layer — the constructive
+	// strategies, the legacy enumerator, and the pruned engine's worker pool —
+	// stops at its next node and the Result reports VerdictUnknown with
+	// ReasonDeadline or ReasonCancelled. Nil means no deadline and no
+	// cancellation, at zero per-node cost.
+	Context context.Context
 	// Rewriting is the query-update rewriting γ to apply before checking.
 	// A nil rewriting is the identity (only valid when the history has no
 	// query-update labels).
@@ -192,6 +200,19 @@ type Result struct {
 	// session's rewrite cache instead of being re-derived (Rewritten then
 	// aliases the cached clone).
 	RewriteCached bool
+	// Verdict is the three-valued outcome: Valid (witness found), Invalid
+	// (search space exhausted, no witness) or Unknown (truncated before a
+	// decision). It is derived from OK and Complete, which remain populated
+	// for callers that predate it.
+	Verdict Verdict
+	// Incomplete explains the truncation when Verdict is VerdictUnknown, and
+	// is nil otherwise.
+	Incomplete *Incomplete
+	// MemDegraded reports that the session memory budget tripped during this
+	// check and the search finished (or truncated) in memo-less degraded
+	// mode. A degraded check's verdict is still sound; only Nodes and
+	// wall-clock are affected.
+	MemDegraded bool
 }
 
 // EngineOutcome is what a registered search engine reports back to CheckRA
@@ -225,6 +246,12 @@ type EngineOutcome struct {
 	// PlanReused reports that the prepared history plan came from the
 	// session's plan pool.
 	PlanReused bool
+	// Incomplete explains why the search truncated (deadline, cancellation,
+	// node budget, memory budget, recovered panic); nil when Complete.
+	Incomplete *Incomplete
+	// MemDegraded reports that the session memory budget tripped and the
+	// search ran (partly) in memo-less degraded mode.
+	MemDegraded bool
 }
 
 // PrunedEngineFunc is the entry point of a pruned search engine. The history
@@ -300,7 +327,19 @@ func IsRALinearization(h *History, seq []*Label, spec Spec) error {
 // configured constructive strategies, and optionally searches all linear
 // extensions of the visibility relation.
 func CheckRA(h *History, spec Spec, opts CheckOptions) Result {
+	res := checkRA(h, spec, opts)
+	res.finalizeVerdict()
+	return res
+}
+
+// checkRA is CheckRA without the final verdict derivation; every return path
+// leaves OK/Complete (and Incomplete, when truncated) consistent.
+func checkRA(h *History, spec Spec, opts CheckOptions) Result {
 	res := Result{}
+	if inc := ContextIncomplete(opts.Context); inc != nil {
+		res.Incomplete = inc
+		return res
+	}
 	rew, cached, err := rewriteForCheck(h, opts)
 	if err != nil {
 		res.LastErr = err
@@ -321,6 +360,11 @@ func CheckRA(h *History, spec Spec, opts CheckOptions) Result {
 	}
 
 	for _, s := range opts.Strategies {
+		if inc := ContextIncomplete(opts.Context); inc != nil {
+			res.Incomplete = inc
+			res.Complete = false
+			return res
+		}
 		var seq []*Label
 		switch s {
 		case StrategyExecutionOrder:
@@ -344,6 +388,10 @@ func CheckRA(h *History, spec Spec, opts CheckOptions) Result {
 
 	if !opts.Exhaustive {
 		res.Complete = false
+		res.Incomplete = &Incomplete{
+			Reason: ReasonNoSearch,
+			Detail: "constructive strategies found no witness and the exhaustive search is disabled",
+		}
 		return res
 	}
 
@@ -359,7 +407,11 @@ func CheckRA(h *History, spec Spec, opts CheckOptions) Result {
 
 	found := false
 	var witness []*Label
+	var ctxInc *Incomplete
 	_, truncated := LinearExtensions(rew.History, opts.MaxExtensions, func(seq []*Label) bool {
+		if ctxInc = ContextIncomplete(opts.Context); ctxInc != nil {
+			return false
+		}
 		if err := try(seq); err == nil {
 			found = true
 			witness = seq
@@ -375,7 +427,18 @@ func CheckRA(h *History, spec Spec, opts CheckOptions) Result {
 		res.Linearization = witness
 		return res
 	}
+	if ctxInc != nil {
+		res.Complete = false
+		res.Incomplete = ctxInc
+		return res
+	}
 	res.Complete = !truncated
+	if truncated {
+		res.Incomplete = &Incomplete{
+			Reason: ReasonNodeBudget,
+			Detail: fmt.Sprintf("legacy enumeration truncated at MaxExtensions=%d", opts.MaxExtensions),
+		}
+	}
 	if res.Complete && res.LastErr != nil {
 		res.LastErr = fmt.Errorf("%w: %v", ErrNotRALinearizable, res.LastErr)
 	}
@@ -402,6 +465,7 @@ func applyEngineOutcome(res *Result, out EngineOutcome) {
 	res.Shards = out.Shards
 	res.Workers = out.Workers
 	res.PlanReused = out.PlanReused
+	res.MemDegraded = out.MemDegraded
 	if out.LastErr != nil {
 		res.LastErr = out.LastErr
 	}
@@ -412,6 +476,9 @@ func applyEngineOutcome(res *Result, out EngineOutcome) {
 		return
 	}
 	res.Complete = out.Complete
+	if !out.Complete {
+		res.Incomplete = out.Incomplete
+	}
 }
 
 // CheckStrongLinearizable checks a stricter criterion used for the Figure 5a
@@ -423,7 +490,17 @@ func applyEngineOutcome(res *Result, out EngineOutcome) {
 // Parallelism, MaxExtensions, MaxNodes and DisableMemo options are consulted;
 // strategies and rewritings do not apply.
 func CheckStrongLinearizable(h *History, spec Spec, opts CheckOptions) Result {
+	res := checkStrongLinearizable(h, spec, opts)
+	res.finalizeVerdict()
+	return res
+}
+
+func checkStrongLinearizable(h *History, spec Spec, opts CheckOptions) Result {
 	res := Result{Rewritten: h}
+	if inc := ContextIncomplete(opts.Context); inc != nil {
+		res.Incomplete = inc
+		return res
+	}
 	if !h.IsAcyclic() {
 		res.Complete = true
 		res.LastErr = fmt.Errorf("visibility relation is cyclic")
@@ -456,7 +533,11 @@ func CheckStrongLinearizable(h *History, spec Spec, opts CheckOptions) Result {
 	}
 	found := false
 	var witness []*Label
+	var ctxInc *Incomplete
 	_, truncated := LinearExtensions(h, opts.MaxExtensions, func(seq []*Label) bool {
+		if ctxInc = ContextIncomplete(opts.Context); ctxInc != nil {
+			return false
+		}
 		res.Tried++
 		if err := check(seq); err == nil {
 			found = true
@@ -473,6 +554,17 @@ func CheckStrongLinearizable(h *History, spec Spec, opts CheckOptions) Result {
 		res.Linearization = witness
 		return res
 	}
+	if ctxInc != nil {
+		res.Complete = false
+		res.Incomplete = ctxInc
+		return res
+	}
 	res.Complete = !truncated
+	if truncated {
+		res.Incomplete = &Incomplete{
+			Reason: ReasonNodeBudget,
+			Detail: fmt.Sprintf("legacy enumeration truncated at MaxExtensions=%d", opts.MaxExtensions),
+		}
+	}
 	return res
 }

@@ -135,6 +135,15 @@ func (c *RewriteCache) store(h *History, token any, rew *RewrittenHistory) {
 	c.entries[h] = rewriteEntry{token: token, rew: rew}
 }
 
+// Clear drops every cached rewriting (the hit/miss counters are kept). The
+// search session's memory-budget eviction calls it so a tripped session
+// releases the pinned histories and clones along with its other caches.
+func (c *RewriteCache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	clear(c.entries)
+}
+
 // Stats returns the lookup hit/miss counters.
 func (c *RewriteCache) Stats() (hits, misses int64) {
 	c.mu.Lock()

@@ -280,9 +280,42 @@ func TestAdaptiveParallelismPolicy(t *testing.T) {
 		{gmp: 4, workers: 3, pending: 2, want: 2},   // integer share rounds down
 	}
 	for _, c := range cases {
-		if got := adaptiveParallelism(c.gmp, c.workers, c.pending); got != c.want {
+		if got := adaptiveParallelism(c.gmp, c.workers, c.pending, 0, 0); got != c.want {
 			t.Errorf("adaptiveParallelism(gmp=%d, workers=%d, pending=%d) = %d, want %d",
 				c.gmp, c.workers, c.pending, got, c.want)
+		}
+	}
+}
+
+// TestAdaptiveParallelismWeighted pins the ops²-weighted refinement: a trial
+// carrying most of the in-flight work widens past its headcount share even
+// while the batch is wide, equal weights reproduce the headcount split, and
+// the grant never exceeds the machine.
+func TestAdaptiveParallelismWeighted(t *testing.T) {
+	cases := []struct {
+		gmp, workers       int
+		pending            int64
+		weight, liveWeight int64
+		want               int
+	}{
+		// Four equal trials in flight: weight share = headcount share.
+		{gmp: 8, workers: 4, pending: 100, weight: 25, liveWeight: 100, want: 2},
+		// One heavy trial among small ones: 100/115 of the work ⇒ ~7 cores
+		// even though the headcount share is 2.
+		{gmp: 8, workers: 4, pending: 100, weight: 100, liveWeight: 115, want: 7},
+		// The heavy trial is everything in flight: the whole machine.
+		{gmp: 8, workers: 4, pending: 100, weight: 100, liveWeight: 100, want: 8},
+		// Light trial among heavies: weighting never shrinks below fair share.
+		{gmp: 8, workers: 4, pending: 100, weight: 1, liveWeight: 1000, want: 2},
+		// Zero weight (unknown cost) falls back to the headcount split.
+		{gmp: 8, workers: 4, pending: 2, weight: 0, liveWeight: 50, want: 4},
+		// Stale liveWeight below this trial's own weight is ignored.
+		{gmp: 8, workers: 4, pending: 100, weight: 64, liveWeight: 10, want: 2},
+	}
+	for _, c := range cases {
+		if got := adaptiveParallelism(c.gmp, c.workers, c.pending, c.weight, c.liveWeight); got != c.want {
+			t.Errorf("adaptiveParallelism(gmp=%d, workers=%d, pending=%d, weight=%d, live=%d) = %d, want %d",
+				c.gmp, c.workers, c.pending, c.weight, c.liveWeight, got, c.want)
 		}
 	}
 }

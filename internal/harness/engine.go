@@ -1,9 +1,12 @@
 package harness
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"ralin/internal/core"
+	"ralin/internal/search"
 )
 
 // This package imports internal/search (workload.go uses its batch
@@ -34,6 +37,21 @@ type Options struct {
 	// giving every history fresh interner/memo/scratch state — the
 	// pre-batch behaviour, kept for differential testing and debugging.
 	FreshSessions bool
+	// Context carries the caller's cancellation into every trial of a batch:
+	// when it is cancelled (or its deadline expires), dispatch stops, running
+	// checks are interrupted at their next node, and the skipped trials are
+	// reported as Unknown — never silently dropped. Nil means no
+	// cancellation.
+	Context context.Context
+	// Timeout, when positive, bounds the wall clock of the whole batch (a
+	// deadline derived from Context, or from the background context when
+	// Context is nil). Trials past the deadline report VerdictUnknown with
+	// ReasonDeadline.
+	Timeout time.Duration
+	// Budget caps the memory of the batch's shared engine session; see
+	// search.Budget for the graceful-degradation semantics. Ignored with
+	// FreshSessions (fresh per-trial state is bounded by the trial itself).
+	Budget search.Budget
 	// Check overrides the descriptor-derived checker options for every
 	// trial of the batch entry points that would otherwise derive them
 	// (CheckRandomHistories, CheckGenerated). Entry points taking an
@@ -71,6 +89,9 @@ func searchEffort(res core.Result) string {
 		}
 		if res.RewriteCached {
 			s += ", cached rewrite"
+		}
+		if res.MemDegraded {
+			s += ", degraded (mem budget)"
 		}
 		return s
 	}

@@ -104,6 +104,9 @@ func RenderFig12(rows []Fig12Row) string {
 			obl = "FAILED"
 		}
 		hist := fmt.Sprintf("%d/%d ok", r.Histories.Linearizable, r.Histories.Histories)
+		if r.Histories.Unknown > 0 {
+			hist += fmt.Sprintf(" (%d unknown)", r.Histories.Unknown)
+		}
 		fmt.Fprintf(&b, "%-18s %-28s %-4s %-4s %-12s %-14s\n",
 			r.Name, r.Source, r.Class, r.Lin, obl, hist)
 	}
@@ -126,6 +129,10 @@ func RenderFig12Details(rows []Fig12Row) string {
 			r.Histories.BatchWorkers, r.Histories.PlanReuses, r.Histories.RewriteHits, r.Histories.MaxInnerParallelism)
 		if r.Histories.FailureExample != "" {
 			fmt.Fprintf(&b, "  first failure: %s\n", r.Histories.FailureExample)
+		}
+		if r.Histories.Unknown > 0 {
+			fmt.Fprintf(&b, "  unknown verdicts: %d (first: %s)\n",
+				r.Histories.Unknown, r.Histories.UnknownExample)
 		}
 	}
 	return b.String()

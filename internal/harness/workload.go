@@ -7,9 +7,11 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	gruntime "runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -115,8 +117,25 @@ type HistoryCheck struct {
 	Histories int
 	// Operations is the total number of operations across all histories.
 	Operations int
-	// Linearizable counts the histories found RA-linearizable.
+	// Linearizable counts the histories with VerdictValid (a witness
+	// RA-linearization was found).
 	Linearizable int
+	// Invalid counts the histories with VerdictInvalid (search space
+	// exhausted, no witness) — definitive refutations, as opposed to the
+	// Unknown trials below.
+	Invalid int
+	// Unknown counts the trials that reached no decision: truncated by a
+	// deadline, a node or memory budget, cancellation, or a recovered panic —
+	// including trials the batch never dispatched because it was cancelled
+	// first. Unknown trials are never folded into Linearizable or Invalid.
+	Unknown int
+	// UnknownByReason breaks Unknown down by core.IncompleteReason string.
+	UnknownByReason map[string]int
+	// UnknownExample describes the first Unknown trial (by trial index).
+	UnknownExample string
+	// Degraded counts the trials whose check ran (partly) memo-less because
+	// the session memory budget tripped; their verdicts are still sound.
+	Degraded int
 	// ByStrategy counts witnesses per constructive strategy; histories
 	// resolved only by the exhaustive search are counted under "exhaustive".
 	ByStrategy map[string]int
@@ -154,12 +173,13 @@ type HistoryCheck struct {
 	// session's rewrite cache — nonzero only when the same history object is
 	// checked more than once through one session.
 	RewriteHits int
-	// FailureExample describes the first non-linearizable history (by trial
-	// index), if any.
+	// FailureExample describes the first definitively non-linearizable
+	// history (by trial index), if any.
 	FailureExample string
 }
 
-// OK reports whether every history was RA-linearizable.
+// OK reports whether every history was RA-linearizable. Unknown trials count
+// against OK — an undecided batch must not read as a clean one.
 func (h HistoryCheck) OK() bool { return h.Linearizable == h.Histories }
 
 // HistoryGenerator produces the histories a batch checks: trial i of the
@@ -252,7 +272,17 @@ func CheckHistoryBatch(name string, sp core.Spec, opts core.CheckOptions, hs []*
 // sequential on machines the batch already saturates. As the batch drains
 // below the worker count the idle workers' cores are handed back, so the last
 // heavy searches of a batch fan out instead of serializing on one core each.
-func adaptiveParallelism(gmp, workers int, pending int64) int {
+//
+// The split is additionally weighted by history size: weight is this trial's
+// cost proxy (ops² — linearization search cost grows superlinearly in the
+// operation count) and liveWeight the total over the in-flight trials. A
+// trial carrying more than its headcount share of the live work gets cores
+// proportional to its weight share instead, so heavy-tail histories widen
+// while the batch is still wide — which matters once a deadline can expire
+// mid-batch: the heavy trial is the one that would otherwise still be running
+// sequentially when the clock runs out. Zero weights (pinned or unknown)
+// fall back to the pure headcount split.
+func adaptiveParallelism(gmp, workers int, pending, weight, liveWeight int64) int {
 	active := int64(workers)
 	if pending < active {
 		active = pending
@@ -260,16 +290,29 @@ func adaptiveParallelism(gmp, workers int, pending int64) int {
 	if active < 1 {
 		active = 1
 	}
-	if par := gmp / int(active); par > 1 {
-		return par
+	par := gmp / int(active)
+	if weight > 0 && liveWeight >= weight {
+		if wpar := int((int64(gmp)*weight + liveWeight - 1) / liveWeight); wpar > par {
+			par = wpar
+		}
 	}
-	return 1
+	if par > gmp {
+		par = gmp
+	}
+	if par < 1 {
+		par = 1
+	}
+	return par
 }
 
 // runBatch is the batch pipeline: a bounded worker pool generates and checks
 // trials over one shared engine session, and the per-trial results are folded
 // in trial order so stats, ByStrategy and the first FailureExample do not
-// depend on completion order.
+// depend on completion order. The pipeline is fail-safe: a deadline or
+// cancellation stops dispatch and interrupts running checks (skipped trials
+// are reported Unknown, not dropped), and a panicking trial — a crashing
+// spec, generator, or engine bug — is recovered into one Unknown outcome
+// while every other trial's verdict is unaffected.
 func runBatch(name string, sp core.Spec, opts core.CheckOptions, trials int, gen func(int) (*core.History, int64, error), o Options) (HistoryCheck, error) {
 	workers := o.BatchWorkers
 	if workers <= 0 {
@@ -282,6 +325,24 @@ func runBatch(name string, sp core.Spec, opts core.CheckOptions, trials int, gen
 		workers = 1
 	}
 	opts = o.Tune(opts)
+	// Wire the batch deadline/cancellation: o.Timeout derives a deadline from
+	// o.Context (or the background context), and the resulting context is
+	// threaded into every check that does not pin its own, so one expiry
+	// interrupts the dispatch loop and all in-flight searches alike.
+	ctx := o.Context
+	if o.Timeout > 0 {
+		base := ctx
+		if base == nil {
+			base = context.Background()
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(base, o.Timeout)
+		defer cancel()
+	}
+	if opts.Context == nil {
+		opts.Context = ctx
+	}
+	ctxDead := func() bool { return ctx != nil && ctx.Err() != nil }
 	// Adaptive batch/inner split: divide the cores between the batch pool
 	// and each check's inner search rather than oversubscribing, and re-widen
 	// the inner searches as the batch drains. A wide batch (pending trials ≥
@@ -297,9 +358,12 @@ func runBatch(name string, sp core.Spec, opts core.CheckOptions, trials int, gen
 	gmp := gruntime.GOMAXPROCS(0)
 	var pending atomic.Int64
 	pending.Store(int64(trials))
+	// liveWeight sums the ops² cost proxy of the in-flight trials, feeding
+	// the weighted adaptive split.
+	var liveWeight atomic.Int64
 	var sess *search.Session
 	if !o.FreshSessions {
-		sess = search.NewSession()
+		sess = search.NewSessionWithBudget(o.Budget)
 	}
 
 	// trialResult keeps only the scalar fields the fold consumes: holding
@@ -310,7 +374,10 @@ func runBatch(name string, sp core.Spec, opts core.CheckOptions, trials int, gen
 		seed       int64
 		ops        int
 		err        error
-		ok         bool
+		verdict    core.Verdict
+		incReason  string
+		incDetail  string
+		degraded   bool
 		strategy   *core.Strategy
 		lastErr    error
 		tried      int
@@ -333,6 +400,18 @@ func runBatch(name string, sp core.Spec, opts core.CheckOptions, trials int, gen
 	var failed atomic.Bool
 	runTrial := func(i int) {
 		defer pending.Add(-1)
+		// Panic isolation: a crashing spec step, generator, or engine bug in
+		// one trial becomes that trial's Unknown outcome (stack captured in
+		// the detail) instead of killing the batch; every other trial's
+		// verdict is computed exactly as if this trial had merely timed out.
+		defer func() {
+			if r := recover(); r != nil {
+				tr := &results[i]
+				tr.verdict = core.VerdictUnknown
+				tr.incReason = string(core.ReasonPanic)
+				tr.incDetail = fmt.Sprintf("trial panicked: %v\n%s", r, debug.Stack())
+			}
+		}()
 		h, seed, err := gen(i)
 		results[i].seed = seed
 		if err != nil {
@@ -340,28 +419,43 @@ func runBatch(name string, sp core.Spec, opts core.CheckOptions, trials int, gen
 			failed.Store(true)
 			return
 		}
-		results[i].ops = h.Len()
+		ops := h.Len()
+		results[i].ops = ops
+		w := int64(ops) * int64(ops)
+		if w < 1 {
+			w = 1
+		}
+		liveWeight.Add(w)
+		defer liveWeight.Add(-w)
 		trialOpts := opts
 		if adaptiveInner {
-			trialOpts.Parallelism = adaptiveParallelism(gmp, workers, pending.Load())
+			trialOpts.Parallelism = adaptiveParallelism(gmp, workers, pending.Load(), w, liveWeight.Load())
 		}
 		results[i].innerPar = trialOpts.Parallelism
 		res := core.CheckRAWith(h, sp, trialOpts, sess)
-		results[i].ok = res.OK
-		results[i].strategy = res.Strategy
-		results[i].lastErr = res.LastErr
-		results[i].tried = res.Tried
-		results[i].nodes = res.Nodes
-		results[i].pruned = res.Pruned
-		results[i].memoHits = res.MemoHits
-		results[i].steals = res.Steals
-		results[i].shards = res.Shards
-		results[i].planReuse = res.PlanReused
-		results[i].rewriteHit = res.RewriteCached
+		tr := &results[i]
+		tr.verdict = res.Verdict
+		if res.Incomplete != nil {
+			tr.incReason = string(res.Incomplete.Reason)
+			tr.incDetail = res.Incomplete.String()
+		}
+		tr.degraded = res.MemDegraded
+		tr.strategy = res.Strategy
+		tr.lastErr = res.LastErr
+		tr.tried = res.Tried
+		tr.nodes = res.Nodes
+		tr.pruned = res.Pruned
+		tr.memoHits = res.MemoHits
+		tr.steals = res.Steals
+		tr.shards = res.Shards
+		tr.planReuse = res.PlanReused
+		tr.rewriteHit = res.RewriteCached
 	}
+	dispatched := 0
 	if workers <= 1 {
-		for i := 0; i < trials && !failed.Load(); i++ {
+		for i := 0; i < trials && !failed.Load() && !ctxDead(); i++ {
 			runTrial(i)
+			dispatched = i + 1
 		}
 	} else {
 		idx := make(chan int)
@@ -375,14 +469,38 @@ func runBatch(name string, sp core.Spec, opts core.CheckOptions, trials int, gen
 				}
 			}()
 		}
-		for i := 0; i < trials && !failed.Load(); i++ {
+		for i := 0; i < trials && !failed.Load() && !ctxDead(); i++ {
 			idx <- i
+			dispatched = i + 1
 		}
 		close(idx)
 		wg.Wait()
 	}
+	// Trials the dead context kept from dispatching are recorded as Unknown
+	// with the context's reason — skipped, never silently dropped.
+	if dispatched < trials {
+		skipInc := core.ContextIncomplete(ctx)
+		for i := dispatched; i < trials; i++ {
+			tr := &results[i]
+			if tr.err != nil || tr.verdict != core.VerdictUnknown || tr.incReason != "" {
+				continue
+			}
+			if skipInc != nil {
+				tr.incReason = string(skipInc.Reason)
+				tr.incDetail = "trial not dispatched: " + skipInc.Detail
+			} else {
+				tr.incReason = string(core.ReasonCancelled)
+				tr.incDetail = "trial not dispatched: batch stopped early"
+			}
+		}
+	}
 
-	out := HistoryCheck{CRDT: name, ByStrategy: map[string]int{}, BatchWorkers: workers}
+	out := HistoryCheck{
+		CRDT:            name,
+		ByStrategy:      map[string]int{},
+		UnknownByReason: map[string]int{},
+		BatchWorkers:    workers,
+	}
 	for i := range results {
 		tr := &results[i]
 		if tr.err != nil {
@@ -408,17 +526,28 @@ func runBatch(name string, sp core.Spec, opts core.CheckOptions, trials int, gen
 		if tr.rewriteHit {
 			out.RewriteHits++
 		}
-		if !tr.ok {
+		if tr.degraded {
+			out.Degraded++
+		}
+		switch tr.verdict {
+		case core.VerdictValid:
+			out.Linearizable++
+			if tr.strategy != nil {
+				out.ByStrategy[tr.strategy.String()]++
+			} else {
+				out.ByStrategy["exhaustive"]++
+			}
+		case core.VerdictInvalid:
+			out.Invalid++
 			if out.FailureExample == "" {
 				out.FailureExample = fmt.Sprintf("seed %d: %v", tr.seed, tr.lastErr)
 			}
-			continue
-		}
-		out.Linearizable++
-		if tr.strategy != nil {
-			out.ByStrategy[tr.strategy.String()]++
-		} else {
-			out.ByStrategy["exhaustive"]++
+		default:
+			out.Unknown++
+			out.UnknownByReason[tr.incReason]++
+			if out.UnknownExample == "" {
+				out.UnknownExample = fmt.Sprintf("trial %d (seed %d): %s", i, tr.seed, tr.incDetail)
+			}
 		}
 	}
 	out.InternedStates = sess.InternedStates()

@@ -337,7 +337,8 @@ func Harvest(sc Scenario, baseSeed int64, trials, keep int) ([]Entry, string, er
 	legacyOpts.MaxExtensions = 500000
 
 	var candidates []Entry
-	skippedCodec, skippedLegacy := 0, 0
+	skippedCodec, skippedLegacy, skippedUndecided := 0, 0, 0
+	undecidedReasons := map[core.IncompleteReason]int{}
 	for i := 0; i < trials; i++ {
 		seed := baseSeed + int64(i)*7919
 		h, err := Run(sc, seed)
@@ -348,12 +349,17 @@ func Harvest(sc Scenario, baseSeed int64, trials, keep int) ([]Entry, string, er
 			h = plan.Transform(h)
 		}
 		res := core.CheckRA(h, plan.Spec, prunedOpts)
-		if !res.OK && !res.Complete {
-			skippedLegacy++ // undecided within budget; useless as a regression verdict
+		if res.Verdict == core.VerdictUnknown {
+			// Undecided within budget (node/memory budget, deadline, panic);
+			// useless as a regression verdict, recorded with its reason.
+			skippedUndecided++
+			if res.Incomplete != nil {
+				undecidedReasons[res.Incomplete.Reason]++
+			}
 			continue
 		}
 		leg := core.CheckRA(h, plan.Spec, legacyOpts)
-		if !leg.Complete && !leg.OK {
+		if leg.Verdict == core.VerdictUnknown {
 			skippedLegacy++
 			continue
 		}
@@ -390,7 +396,23 @@ func Harvest(sc Scenario, baseSeed int64, trials, keep int) ([]Entry, string, er
 	if keep > 0 && len(candidates) > keep {
 		candidates = candidates[:keep]
 	}
-	summary := fmt.Sprintf("%d trials, %d candidates kept (%d skipped: legacy budget, %d skipped: codec)",
-		trials, len(candidates), skippedLegacy, skippedCodec)
+	undecided := fmt.Sprintf("%d skipped: undecided", skippedUndecided)
+	if len(undecidedReasons) > 0 {
+		reasons := make([]string, 0, len(undecidedReasons))
+		for r := range undecidedReasons {
+			reasons = append(reasons, string(r))
+		}
+		sort.Strings(reasons)
+		for i, r := range reasons {
+			sep := " ["
+			if i > 0 {
+				sep = ", "
+			}
+			undecided += fmt.Sprintf("%s%s: %d", sep, r, undecidedReasons[core.IncompleteReason(r)])
+		}
+		undecided += "]"
+	}
+	summary := fmt.Sprintf("%d trials, %d candidates kept (%s, %d skipped: legacy budget, %d skipped: codec)",
+		trials, len(candidates), undecided, skippedLegacy, skippedCodec)
 	return candidates, summary, nil
 }

@@ -17,28 +17,41 @@ import "sync"
 type interner struct {
 	mu  sync.RWMutex
 	ids map[string]uint32
+	// limit caps the number of distinct keys (Budget.MaxInternedStates);
+	// 0 means unlimited. At the cap, id rejects new keys instead of growing,
+	// and the search degrades to unkeyed (memo-less) mode.
+	limit int
 }
 
-func newInterner() *interner {
-	return &interner{ids: make(map[string]uint32, 64)}
+func newInterner() *interner { return newInternerLimited(0) }
+
+func newInternerLimited(limit int) *interner {
+	return &interner{ids: make(map[string]uint32, 64), limit: limit}
 }
 
 // id returns the dense ID of key, assigning the next free ID on first sight.
-func (in *interner) id(key string) uint32 {
+// The second result is false when the key is new but the interner is at its
+// memory budget; known keys always resolve. The budget check lives on the
+// write path only — the read-lock fast path taken for every recurring state
+// is unchanged.
+func (in *interner) id(key string) (uint32, bool) {
 	in.mu.RLock()
 	id, ok := in.ids[key]
 	in.mu.RUnlock()
 	if ok {
-		return id
+		return id, true
 	}
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	if id, ok := in.ids[key]; ok {
-		return id
+		return id, true
+	}
+	if in.limit > 0 && len(in.ids) >= in.limit {
+		return 0, false
 	}
 	id = uint32(len(in.ids))
 	in.ids[key] = id
-	return id
+	return id, true
 }
 
 // size returns the number of distinct keys interned so far.

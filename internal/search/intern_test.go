@@ -14,7 +14,10 @@ func TestInternerDenseAndStable(t *testing.T) {
 	keys := []string{"a", "b", "c", "a", "b", "d", ""}
 	first := make(map[string]uint32)
 	for _, k := range keys {
-		id := in.id(k)
+		id, ok := in.id(k)
+		if !ok {
+			t.Fatalf("unbudgeted interner rejected key %q", k)
+		}
 		if prev, ok := first[k]; ok && prev != id {
 			t.Fatalf("id of %q changed: %d then %d", k, prev, id)
 		}
@@ -47,7 +50,7 @@ func TestInternerConcurrent(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for k := 0; k < keysN; k++ {
-				got[w][k] = in.id(fmt.Sprintf("key-%d", k))
+				got[w][k], _ = in.id(fmt.Sprintf("key-%d", k))
 			}
 		}()
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"slices"
 	"sync"
+	"sync/atomic"
 )
 
 // bitset is a fixed-capacity bit vector over label indices; histories can
@@ -49,7 +50,13 @@ const memoShardCount = 64
 type memoTable struct {
 	// debug is set by Run from the check's options before any worker touches
 	// the table, and is only read afterwards.
-	debug  bool
+	debug bool
+	// live, when non-nil, points at the session's live memo-entry counter:
+	// claim increments it per stored entry and reset hands the table's
+	// entries back. Session.getMemo sets it only when a memo budget
+	// (Budget.MaxMemoBytes) is configured, so the unbudgeted claim path pays
+	// nothing beyond a nil check.
+	live   *atomic.Int64
 	shards [memoShardCount]memoShard
 }
 
@@ -59,9 +66,12 @@ type memoShard struct {
 	// tuples holds the full hashed word sequence per key in debug mode
 	// (nil otherwise).
 	tuples map[key128][]uint64
-	// Pad the 24 bytes of mutex + two map headers to a full 64-byte cache
-	// line so neighboring stripes don't false-share.
-	_ [40]byte
+	// count tracks len(seen) under mu, so reset can return the table's total
+	// to the session's memo-budget counter without walking the maps.
+	count int
+	// Pad the 32 bytes of mutex + two map headers + count to a full 64-byte
+	// cache line so neighboring stripes don't false-share.
+	_ [32]byte
 }
 
 func newMemoTable() *memoTable {
@@ -79,9 +89,16 @@ func newMemoTable() *memoTable {
 // point. Must not be called while a search is still using the table.
 func (m *memoTable) reset() {
 	m.debug = false
+	var drained int64
 	for i := range m.shards {
+		drained += int64(m.shards[i].count)
+		m.shards[i].count = 0
 		clear(m.shards[i].seen)
 		clear(m.shards[i].tuples)
+	}
+	if m.live != nil {
+		m.live.Add(-drained)
+		m.live = nil
 	}
 }
 
@@ -97,6 +114,7 @@ func (m *memoTable) claim(k key128, tuple []uint64) bool {
 	_, dup := sh.seen[k]
 	if !dup {
 		sh.seen[k] = struct{}{}
+		sh.count++
 		if m.debug {
 			if sh.tuples == nil {
 				sh.tuples = make(map[key128][]uint64)
@@ -112,6 +130,9 @@ func (m *memoTable) claim(k key128, tuple []uint64) bool {
 		}
 	}
 	sh.mu.Unlock()
+	if !dup && m.live != nil {
+		m.live.Add(1)
+	}
 	return !dup
 }
 

@@ -46,6 +46,21 @@ func newWorkQueue(workers int) *workQueue {
 // everyone is busy, so the DFS consults this before donating.
 func (q *workQueue) hungry() bool { return q.starving.Load() > 0 }
 
+// retire removes one worker from the termination accounting. A worker that
+// dies on a recovered panic never re-enters pop, so without this the
+// surviving workers would wait for it forever (pop's termination condition
+// is "every worker is waiting"). Retiring re-evaluates that condition and
+// broadcasts when the dead worker was the last piece holding it open.
+func (q *workQueue) retire() {
+	q.mu.Lock()
+	q.workers--
+	if !q.done && len(q.items) == 0 && q.waiting >= q.workers {
+		q.done = true
+		q.cond.Broadcast()
+	}
+	q.mu.Unlock()
+}
+
 // push publishes one item and wakes a waiting worker.
 func (q *workQueue) push(it workItem) {
 	q.mu.Lock()

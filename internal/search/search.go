@@ -45,6 +45,7 @@ package search
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"slices"
 	"sync"
 
@@ -70,17 +71,29 @@ func init() {
 // reallocated — when the search finishes.
 func Run(h *core.History, spec core.Spec, strong bool, opts core.CheckOptions) core.EngineOutcome {
 	sess, _ := opts.Session.(*Session)
+	// Pin the session's cache generation for the whole check: budget eviction
+	// only runs between checks, so interned IDs stay stable while any worker
+	// references them.
+	intern := sess.beginCheck()
+	defer sess.endCheck()
+	if intern == nil {
+		intern = newInterner()
+	}
 	pre, planReused := sess.getPlan()
 	defer sess.putPlan(pre)
 	if err := pre.build(h, strong); err != nil {
 		return core.EngineOutcome{Complete: true, LastErr: err}
 	}
 	sh := newShared(nodeBudget(opts))
-	var intern *interner
+	sh.sess = sess
 	if sess != nil {
-		intern = sess.intern
-	} else {
-		intern = newInterner()
+		if max := sess.budget.MaxMemoBytes; max > 0 {
+			sh.memoCount = &sess.memoEntries
+			sh.memoLimit = max / memoEntryBytes
+			if sh.memoLimit < 1 {
+				sh.memoLimit = 1
+			}
+		}
 	}
 	var memo *memoTable
 	if !opts.DisableMemo {
@@ -88,6 +101,30 @@ func Run(h *core.History, spec core.Spec, strong bool, opts core.CheckOptions) c
 		memo.debug = opts.DebugMemo
 		defer sess.putMemo(memo)
 		sh.shards = memoShardCount
+	}
+
+	// Watch the caller's context (when there is one): deadline expiry or
+	// cancellation interrupts every worker through the shared stop flag each
+	// of them already checks on node entry. A context that is already dead
+	// skips the search entirely.
+	if ctx := opts.Context; ctx != nil {
+		if inc := core.ContextIncomplete(ctx); inc != nil {
+			sh.interrupt(inc)
+			out := sh.outcome(0)
+			out.PlanReused = planReused
+			return out
+		}
+		if done := ctx.Done(); done != nil {
+			finished := make(chan struct{})
+			defer close(finished)
+			go func() {
+				select {
+				case <-done:
+					sh.interrupt(core.ContextIncomplete(ctx))
+				case <-finished:
+				}
+			}()
+		}
 	}
 
 	workers := opts.Parallelism
@@ -101,9 +138,10 @@ func Run(h *core.History, spec core.Spec, strong bool, opts core.CheckOptions) c
 	}
 	if workers <= 1 {
 		s := newSearcher(sess.getSearcher(), pre, spec, strong, intern, memo, sh, nil, 0)
-		s.dfs()
-		s.flush()
-		sess.putSearcher(s)
+		if runGuarded(sh, func() { s.dfs() }) {
+			s.flush()
+			sess.putSearcher(s)
+		}
 		out := sh.outcome(1)
 		out.PlanReused = planReused
 		return out
@@ -122,30 +160,57 @@ func Run(h *core.History, spec core.Spec, strong bool, opts core.CheckOptions) c
 		go func(id int) {
 			defer wg.Done()
 			s := newSearcher(sess.getSearcher(), pre, spec, strong, intern, memo, sh, queue, id)
-			defer sess.putSearcher(s)
-			defer s.flush()
-			for {
-				item, ok := queue.pop()
-				if !ok {
-					return
+			ok := runGuarded(sh, func() {
+				for {
+					item, ok := queue.pop()
+					if !ok {
+						return
+					}
+					if item.donor >= 0 && item.donor != id {
+						s.steals++
+					}
+					if sh.stop.Load() {
+						continue
+					}
+					s.reset()
+					if s.replay(item.prefix) {
+						s.dfs()
+					}
 				}
-				if item.donor >= 0 && item.donor != id {
-					s.steals++
-				}
-				if sh.stop.Load() {
-					continue
-				}
-				s.reset()
-				if s.replay(item.prefix) {
-					s.dfs()
-				}
+			})
+			if !ok {
+				// The worker died mid-DFS: take it out of the queue's
+				// termination accounting so the survivors don't wait for it
+				// forever. Its counters and scratch are abandoned (a panicking
+				// searcher's frames are not trustworthy enough to flush or
+				// pool).
+				queue.retire()
+				return
 			}
+			s.flush()
+			sess.putSearcher(s)
 		}(w)
 	}
 	wg.Wait()
 	out := sh.outcome(workers)
 	out.PlanReused = planReused
 	return out
+}
+
+// runGuarded runs f, converting a panic into a search interruption (reason
+// panic, stack captured) instead of crashing the process: the batch the check
+// belongs to keeps running and this check reports VerdictUnknown. It returns
+// false when f panicked — the caller must treat the searcher's state as
+// poisoned.
+func runGuarded(sh *shared, f func()) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			sh.panicked(r, debug.Stack())
+			ok = false
+		}
+	}()
+	f()
+	return true
 }
 
 // nodeBudget derives the prefix-node budget from the options: MaxNodes wins;

@@ -270,14 +270,20 @@ func (s *searcher) replay(prefix []int) bool {
 
 // internState interns the canonical key of one abstract state. A state
 // without a key permanently disables keying for this worker and memoization
-// for the whole search.
+// for the whole search; an interner at its memory budget does the same and
+// additionally trips the session budget, so the search finishes memo-less
+// and the session evicts once idle. Either way the verdict stays sound —
+// keying only feeds deduplication and memoization, never admissibility.
 func (s *searcher) internState(phi core.AbsState) (uint32, bool) {
 	if !s.keyable {
 		return 0, false
 	}
 	if keyer, ok := phi.(core.StateKeyer); ok {
 		if key, ok := keyer.StateKey(); ok {
-			return s.intern.id(key), true
+			if id, ok := s.intern.id(key); ok {
+				return id, true
+			}
+			s.sh.tripMemBudget()
 		}
 	}
 	s.keyable = false
@@ -321,6 +327,14 @@ func (s *searcher) dfs() status {
 			// worker; its subtree equals ours, so skip.
 			s.memoHit++
 			return sExhausted
+		}
+		// Memo-budget accounting rides the store path only (a claimed entry
+		// was just added): past the limit this worker stops memoizing — a
+		// local, allocation-free degradation; other workers degrade the same
+		// way as they store. Zero cost per node when no budget is set.
+		if lim := s.sh.memoLimit; lim > 0 && s.sh.memoCount.Load() > lim {
+			s.memo = nil
+			s.sh.tripMemBudget()
 		}
 	}
 	if depth := len(s.seq); s.queue != nil && depth < maxDonateDepth {

@@ -2,9 +2,37 @@ package search
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"ralin/internal/core"
 )
+
+// memoEntryBytes is the accounting weight of one memo-table entry: a key128
+// plus its share of map bucket overhead. Budget.MaxMemoBytes is converted to
+// an entry cap with it, so the budget check on the claim path stays a single
+// integer comparison instead of a size calculation.
+const memoEntryBytes = 64
+
+// Budget caps the memory-consuming structures of a Session. The zero value
+// (and any zero field) means unlimited. Tripping a budget never aborts a
+// check and never changes a verdict's polarity: the search degrades to
+// memo-less mode (the DisableMemo path) for the remainder of the check, and
+// once the session is idle it evicts its caches — interner, memo arena,
+// plan/searcher pools, rewrite cache — so the next check starts exactly like
+// one on a fresh session.
+type Budget struct {
+	// MaxInternedStates caps the number of distinct abstract states the
+	// session interner assigns IDs to.
+	MaxInternedStates int
+	// MaxMemoBytes caps the approximate bytes of live memoization entries
+	// across the session's in-flight checks (each entry is accounted at
+	// memoEntryBytes).
+	MaxMemoBytes int64
+	// MaxPlanPoolEntries caps the prepared-plan pool (and, with it, the
+	// searcher scratch pool) so an adversarial batch of many distinct
+	// history shapes cannot grow the pools without bound.
+	MaxPlanPoolEntries int
+}
 
 // Session is the cross-check state of one batch of searches: the interner
 // assigning dense IDs to canonical state keys, an arena of lock-striped memo
@@ -40,20 +68,116 @@ import (
 // check only reaches states of its own specification, so cross-spec key
 // collisions in the shared interner are harmless.
 type Session struct {
-	intern   *interner
 	rewrites core.RewriteCache
+	budget   Budget
+	// memoEntries counts live memo-table entries across the session's
+	// in-flight checks; maintained only when a memo budget is configured.
+	memoEntries atomic.Int64
+	// tripped latches a memory-budget trip; endCheck evicts the session's
+	// caches (and clears the latch) once no check is in flight.
+	tripped atomic.Bool
 
-	mu        sync.Mutex
-	memos     []*memoTable
-	searchers []*searcher
-	plans     []*prepared
+	mu sync.Mutex
+	// intern is guarded by mu only for the pointer swap during eviction;
+	// the interner itself is concurrency-safe and checks pin it for their
+	// whole run through beginCheck/endCheck.
+	intern    *interner
+	active    int
+	evictions int
+	// internedHigh is the high-water interned-state count across evictions,
+	// so InternedStates keeps reporting the vocabulary actually built.
+	internedHigh int
+	memos        []*memoTable
+	searchers    []*searcher
+	plans        []*prepared
 }
 
-// NewSession creates an empty batch session. It implements
+// NewSession creates an empty, unbudgeted batch session. It implements
 // core.EngineSession; pass it to core.CheckRAWith (or set
 // CheckOptions.Session) on every check of a batch.
 func NewSession() *Session {
-	return &Session{intern: newInterner()}
+	return NewSessionWithBudget(Budget{})
+}
+
+// NewSessionWithBudget creates a batch session whose interner, memo arena and
+// plan pool are capped by b. See Budget for the degradation semantics.
+func NewSessionWithBudget(b Budget) *Session {
+	return &Session{intern: newInternerLimited(b.MaxInternedStates), budget: b}
+}
+
+// Budget returns the session's configured memory budget (the zero Budget for
+// an unbudgeted session).
+func (s *Session) Budget() Budget {
+	if s == nil {
+		return Budget{}
+	}
+	return s.budget
+}
+
+// Evictions returns how many times a tripped memory budget made the idle
+// session drop its caches and start a fresh generation.
+func (s *Session) Evictions() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evictions
+}
+
+// noteTrip latches a memory-budget trip; nil-safe (sessionless searches have
+// no budget, but the call sites stay unconditional).
+func (s *Session) noteTrip() {
+	if s != nil {
+		s.tripped.Store(true)
+	}
+}
+
+// beginCheck pins the session's current cache generation for the duration of
+// one check: eviction only happens when no check is in flight, so interned
+// IDs stay stable while any search references them.
+func (s *Session) beginCheck() *interner {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.active++
+	return s.intern
+}
+
+// endCheck releases the pin taken by beginCheck and — when a budget tripped
+// and this was the last in-flight check — evicts the session's caches so the
+// next check starts from a fresh generation.
+func (s *Session) endCheck() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.active--
+	if s.active == 0 && s.tripped.Load() {
+		s.evictLocked()
+		s.tripped.Store(false)
+	}
+}
+
+// evictLocked is the memory-budget fail-safe: drop every cache the session
+// accumulated — interner, pooled memo tables, plans and searcher scratch, and
+// the rewrite cache — so the memory is reclaimable and the next check is
+// indistinguishable from one on a fresh session with the same budget. Called
+// with s.mu held and no check in flight.
+func (s *Session) evictLocked() {
+	if n := s.intern.size(); n > s.internedHigh {
+		s.internedHigh = n
+	}
+	s.intern = newInternerLimited(s.budget.MaxInternedStates)
+	s.memos = nil
+	s.plans = nil
+	s.searchers = nil
+	s.memoEntries.Store(0)
+	s.rewrites.Clear()
+	s.evictions++
 }
 
 // EngineSessionKind identifies the owning engine (core.EngineSession).
@@ -61,12 +185,19 @@ func (s *Session) EngineSessionKind() string { return "pruned" }
 
 // InternedStates returns the number of distinct abstract states interned so
 // far — the state vocabulary the session's checks have shared instead of
-// rebuilding per history.
+// rebuilding per history. Across budget evictions it reports the high-water
+// mark of any generation.
 func (s *Session) InternedStates() int {
 	if s == nil {
 		return 0
 	}
-	return s.intern.size()
+	s.mu.Lock()
+	in, high := s.intern, s.internedHigh
+	s.mu.Unlock()
+	if n := in.size(); n > high {
+		return n
+	}
+	return high
 }
 
 // RewriteCache exposes the session's γ-rewriting cache; it implements
@@ -100,33 +231,46 @@ func (s *Session) getPlan() (*prepared, bool) {
 }
 
 // putPlan drops the plan's label references (so a pooled plan pins nothing of
-// the finished check's history) and returns it to the pool. No-op on a nil
-// session.
+// the finished check's history) and returns it to the pool — unless the
+// budget caps the pool and it is full, in which case the plan is dropped for
+// the collector (cold-plan eviction). No-op on a nil session.
 func (s *Session) putPlan(p *prepared) {
 	if s == nil || p == nil {
 		return
 	}
 	p.release()
 	s.mu.Lock()
+	if max := s.budget.MaxPlanPoolEntries; max > 0 && len(s.plans) >= max {
+		s.mu.Unlock()
+		return
+	}
 	s.plans = append(s.plans, p)
 	s.mu.Unlock()
 }
 
 // getMemo takes a cleared memo table from the arena (allocating only when the
-// arena is empty). Safe on a nil session, which always allocates.
+// arena is empty). When the session carries a memo budget, the table is wired
+// to the session's live-entry counter so claims are accounted. Safe on a nil
+// session, which always allocates.
 func (s *Session) getMemo() *memoTable {
 	if s == nil {
 		return newMemoTable()
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	var m *memoTable
 	if n := len(s.memos); n > 0 {
-		m := s.memos[n-1]
+		m = s.memos[n-1]
 		s.memos[n-1] = nil
 		s.memos = s.memos[:n-1]
-		return m
 	}
-	return newMemoTable()
+	s.mu.Unlock()
+	if m == nil {
+		m = newMemoTable()
+	}
+	if s.budget.MaxMemoBytes > 0 {
+		m.live = &s.memoEntries
+	}
+	return m
 }
 
 // putMemo clears the table (keeping its shard maps' buckets) and returns it
@@ -167,6 +311,12 @@ func (s *Session) putSearcher(w *searcher) {
 	}
 	w.release()
 	s.mu.Lock()
+	// The searcher pool rides on the plan-pool budget: searcher scratch is
+	// sized by the same history shapes the plans index.
+	if max := s.budget.MaxPlanPoolEntries; max > 0 && len(s.searchers) >= max {
+		s.mu.Unlock()
+		return
+	}
 	s.searchers = append(s.searchers, w)
 	s.mu.Unlock()
 }

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -22,6 +23,21 @@ type shared struct {
 	// memoization is disabled), reported in the outcome.
 	shards int
 
+	// memDegraded flips to true once the session memory budget trips
+	// (interner at MaxInternedStates, or memo entries past MaxMemoBytes):
+	// the search keeps running memo-less, the verdict stays sound, and the
+	// outcome reports the degradation. Only set when a budget is configured.
+	memDegraded atomic.Bool
+	// memoCount points at the session's live memo-entry counter and memoLimit
+	// is the entry cap derived from Budget.MaxMemoBytes; both are nil/zero
+	// without a configured memo budget, in which case the claim path pays
+	// nothing.
+	memoCount *atomic.Int64
+	memoLimit int64
+	// sess is notified on a memory-budget trip so it can evict its caches
+	// once the check (and any concurrent siblings) finish; nil-safe.
+	sess *Session
+
 	nodes    atomic.Int64
 	leaves   atomic.Int64
 	pruned   atomic.Int64
@@ -32,10 +48,46 @@ type shared struct {
 	mu      sync.Mutex
 	witness []*core.Label
 	lastErr error
+	// inc records the first interruption cause (deadline, cancellation,
+	// recovered panic); node-budget truncation is derived in outcome() when
+	// no explicit cause was recorded.
+	inc *core.Incomplete
 }
 
 func newShared(budget int64) *shared {
 	return &shared{budget: budget}
+}
+
+// interrupt flags the search truncated for the given cause and cancels all
+// workers. The first recorded cause wins; later interrupts only reinforce the
+// stop flag.
+func (sh *shared) interrupt(inc *core.Incomplete) {
+	sh.mu.Lock()
+	if sh.inc == nil {
+		sh.inc = inc
+	}
+	sh.mu.Unlock()
+	sh.truncated.Store(true)
+	sh.stop.Store(true)
+}
+
+// panicked converts a recovered worker panic into an interruption carrying
+// the panic message and captured stack.
+func (sh *shared) panicked(r any, stack []byte) {
+	sh.interrupt(&core.Incomplete{
+		Reason: core.ReasonPanic,
+		Detail: fmt.Sprintf("search worker panicked: %v", r),
+		Stack:  string(stack),
+	})
+}
+
+// tripMemBudget records that the session memory budget was hit. The search
+// continues memo-less (graceful degradation, not an abort); the session is
+// told so it evicts its caches when idle.
+func (sh *shared) tripMemBudget() {
+	if sh.memDegraded.CompareAndSwap(false, true) {
+		sh.sess.noteTrip()
+	}
 }
 
 // chargeNode consumes one unit of the node budget. It returns false — after
@@ -75,7 +127,7 @@ func (sh *shared) setErr(err error) {
 // outcome assembles the engine outcome once every worker has flushed.
 func (sh *shared) outcome(workers int) core.EngineOutcome {
 	sh.mu.Lock()
-	witness, lastErr := sh.witness, sh.lastErr
+	witness, lastErr, inc := sh.witness, sh.lastErr, sh.inc
 	sh.mu.Unlock()
 	out := core.EngineOutcome{
 		OK:       witness != nil,
@@ -90,5 +142,25 @@ func (sh *shared) outcome(workers int) core.EngineOutcome {
 		Workers:  workers,
 	}
 	out.Complete = out.OK || !sh.truncated.Load()
+	out.MemDegraded = sh.memDegraded.Load()
+	if !out.Complete {
+		if inc == nil {
+			// No explicit interruption was recorded: the node budget cut the
+			// search. Attribute it to the memory budget when the truncation
+			// happened after degradation — the memo-less search is the reason
+			// the node budget no longer sufficed.
+			inc = &core.Incomplete{
+				Reason: core.ReasonNodeBudget,
+				Detail: fmt.Sprintf("node budget exhausted after %d nodes", sh.nodes.Load()),
+			}
+			if out.MemDegraded {
+				inc = &core.Incomplete{
+					Reason: core.ReasonMemBudget,
+					Detail: fmt.Sprintf("memory budget tripped (search degraded to memo-less mode) and the node budget then truncated after %d nodes", sh.nodes.Load()),
+				}
+			}
+		}
+		out.Incomplete = inc
+	}
 	return out
 }

@@ -44,6 +44,20 @@ type History = core.History
 // Result is the outcome of an RA-linearizability check.
 type Result = core.Result
 
+// Verdict is the three-valued outcome of a check: Valid, Invalid, or Unknown
+// when a deadline, budget, cancellation or recovered panic truncated it.
+type Verdict = core.Verdict
+
+// Incomplete explains an Unknown verdict (reason, detail, panic stack).
+type Incomplete = core.Incomplete
+
+// Re-exported verdict constants.
+const (
+	VerdictUnknown = core.VerdictUnknown
+	VerdictValid   = core.VerdictValid
+	VerdictInvalid = core.VerdictInvalid
+)
+
 // Experiment is the outcome of reproducing one of the paper's figures.
 type Experiment = harness.Experiment
 
