@@ -7,7 +7,7 @@ GO ?= go
 # and reported but would gate on the host's core count, not the code. The
 # gate fails on a >1% allocs/op increase and (same-CPU runs, NS_THRESHOLD>0)
 # on a >$(NS_THRESHOLD)% ns/op regression vs the committed BENCH_results.json.
-BENCH_GATE_PATTERN = BenchmarkEngineNonLinearizable|BenchmarkBatchCheckRandomHistories|BenchmarkBatchRefutations|BenchmarkSessionRecheck|BenchmarkScenarioCorpus
+BENCH_GATE_PATTERN = BenchmarkEngineNonLinearizable|BenchmarkBatchCheckRandomHistories|BenchmarkBatchRefutations|BenchmarkSessionRecheck|BenchmarkScenarioCorpus|BenchmarkGuidedVsRankOrder
 NS_THRESHOLD ?= 25
 # NS_BASELINE optionally names a second, same-runner baseline JSON (the CI
 # cache regenerated on every merge to main): when set, bench-gate runs an
@@ -17,7 +17,7 @@ NS_THRESHOLD ?= 25
 NS_BASELINE ?=
 NS_BASELINE_THRESHOLD ?= 25
 
-.PHONY: build test bench bench-json bench-gate bench-ns-baseline scenarios lint fmt
+.PHONY: build test bench bench-json bench-gate bench-ns-baseline scenarios lint lint-docs fmt
 
 build:
 	$(GO) build ./...
@@ -95,6 +95,14 @@ lint:
 	else \
 		echo "staticcheck not installed; skipped (CI runs the pinned version)"; \
 	fi
+	$(MAKE) lint-docs
+
+# The documentation gates (dependency-free, stdlib-only scripts): every
+# exported symbol of the engine packages carries a doc comment, and every
+# intra-repo markdown link resolves. CI runs both (the docs job runs mdlinks).
+lint-docs:
+	$(GO) run ./scripts/lintgodoc ./internal/search ./internal/core
+	$(GO) run ./scripts/mdlinks .
 
 fmt:
 	gofmt -w .

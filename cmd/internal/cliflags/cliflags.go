@@ -20,6 +20,7 @@ import (
 // Common holds the checker/batch flags shared by every tool.
 type Common struct {
 	engine       *string
+	guidance     *string
 	parallel     *int
 	batchWorkers *int
 	timeout      *time.Duration
@@ -27,11 +28,13 @@ type Common struct {
 	maxMemoMB    *int
 }
 
-// AddCommon registers -engine, -parallel, -batch-workers and the resource
-// limit flags (-timeout, -max-interned, -max-memo-mb) on the flag set.
+// AddCommon registers -engine, -guidance, -parallel, -batch-workers and the
+// resource limit flags (-timeout, -max-interned, -max-memo-mb) on the flag
+// set.
 func AddCommon(fs *flag.FlagSet) *Common {
 	return &Common{
 		engine:       fs.String("engine", "auto", "exhaustive-search engine: auto, pruned or legacy"),
+		guidance:     fs.String("guidance", "auto", "pruned-engine branch ordering: auto, rank-order or guided (heuristic; same verdicts, fewer nodes on refutations)"),
 		parallel:     fs.Int("parallel", 0, "pruned-engine worker goroutines sharing one memo table via work stealing (0 = GOMAXPROCS)"),
 		batchWorkers: fs.Int("batch-workers", 0, "goroutines checking histories of one batch concurrently over a shared engine session (0 = GOMAXPROCS, 1 = sequential)"),
 		timeout:      fs.Duration("timeout", 0, "wall-clock budget for the whole run; trials past the deadline report verdict unknown instead of hanging (0 = none)"),
@@ -46,8 +49,13 @@ func (c *Common) Options() (harness.Options, error) {
 	if err != nil {
 		return harness.Options{}, err
 	}
+	guide, err := core.ParseGuidance(*c.guidance)
+	if err != nil {
+		return harness.Options{}, err
+	}
 	return harness.Options{
 		Engine:       eng,
+		Guidance:     guide,
 		Parallelism:  *c.parallel,
 		BatchWorkers: *c.batchWorkers,
 		Timeout:      *c.timeout,
@@ -68,6 +76,9 @@ exit codes:
   2  at least one unknown verdict (deadline, memory/node budget, cancellation
      or recovered panic truncated the check; also used by flag-usage errors)
   3  operational error (bad arguments, generator failure, I/O)
+
+The three-valued verdict contract behind these codes (Valid/Invalid/Unknown
+and every Incomplete reason) is documented in docs/VERDICTS.md.
 `
 
 // DocumentExitCodes appends ExitCodesDoc to the flag set's usage output.

@@ -119,6 +119,48 @@ func TestScenarioCorpusFailSafe(t *testing.T) {
 	})
 }
 
+// TestScenarioCorpusGuidedDifferential is the corpus-wide differential gate
+// on guided branch ordering: every committed entry is checked with rank order
+// and with guided ordering (sequential, strategies disabled so the engine
+// actually searches), and the verdicts must be byte-identical — only Nodes
+// may change. On refutations guided must never explore more nodes than rank
+// order: the query-commit reduction only ever shrinks the refutation DAG,
+// while pure sibling reordering leaves it untouched.
+func TestScenarioCorpusGuidedDifferential(t *testing.T) {
+	entries, paths := loadCorpus(t)
+	for i, e := range entries {
+		h, err := e.History()
+		if err != nil {
+			t.Fatalf("%s: %v", paths[i], err)
+		}
+		plan, err := e.Plan()
+		if err != nil {
+			t.Fatalf("%s: %v", paths[i], err)
+		}
+		opts := plan.Options
+		opts.Strategies = nil
+		opts.Exhaustive = true
+		opts.Engine = core.EnginePruned
+		opts.Parallelism = 1
+		opts.Guidance = core.GuidanceRankOrder
+		rank := core.CheckRA(h, plan.Spec, opts)
+		opts.Guidance = core.GuidanceGuided
+		guided := core.CheckRA(h, plan.Spec, opts)
+		if rank.OK != guided.OK || rank.Complete != guided.Complete || rank.Verdict != guided.Verdict {
+			t.Errorf("%s: guided verdict diverged from rank order: rank OK=%v/%v guided OK=%v/%v",
+				paths[i], rank.OK, rank.Verdict, guided.OK, guided.Verdict)
+			continue
+		}
+		if rank.OK != e.RALinearizable {
+			t.Errorf("%s: verdict %v does not match corpus record %v", paths[i], rank.OK, e.RALinearizable)
+		}
+		if !rank.OK && guided.Nodes > rank.Nodes {
+			t.Errorf("%s: guided refutation explored more nodes than rank order: %d > %d",
+				paths[i], guided.Nodes, rank.Nodes)
+		}
+	}
+}
+
 // TestScenarioCorpusEnginesAgree checks every corpus entry with the pruned
 // and legacy exhaustive engines (constructive strategies disabled, so both
 // engines actually search) and asserts they reach the recorded verdict.

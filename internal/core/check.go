@@ -76,6 +76,73 @@ func ParseEngine(s string) (Engine, error) {
 	}
 }
 
+// Guidance selects how the pruned engine orders the sibling branches of a DFS
+// node (ROADMAP direction 4, after Empc's path prioritization). Ordering is a
+// search heuristic, never a semantics change: every Guidance value explores
+// the same configuration space and produces the same verdict; only Nodes and
+// wall-clock may differ.
+type Guidance int
+
+const (
+	// GuidanceAuto resolves to GuidanceRankOrder: branch ordering stays a
+	// deterministic function of the history alone, so batches through warm and
+	// fresh sessions report identical node counts. Guided mode is opt-in
+	// because its signals (interner novelty, session success scores) depend on
+	// session warmth.
+	GuidanceAuto Guidance = iota
+	// GuidanceRankOrder explores sibling branches in generator-sequence rank
+	// order — the historical behaviour, and the reference side of the
+	// differential gate on guided mode.
+	GuidanceRankOrder
+	// GuidanceGuided enables heuristic exploration: enabled queries are placed
+	// immediately (their justification is final once every visible update is
+	// placed, so committing to them is a sound reduction in RA mode), and the
+	// remaining candidates are ordered by a composite score — novel spec
+	// states first, then pending-query justification counts, then a per-label
+	// success score learned across a session's batch. Verdicts are identical
+	// to rank order; Nodes and wall-clock may change.
+	GuidanceGuided
+)
+
+// String renders the guidance mode name as accepted by ParseGuidance.
+func (g Guidance) String() string {
+	switch g {
+	case GuidanceAuto:
+		return "auto"
+	case GuidanceRankOrder:
+		return "rank-order"
+	case GuidanceGuided:
+		return "guided"
+	default:
+		return fmt.Sprintf("Guidance(%d)", int(g))
+	}
+}
+
+// ParseGuidance parses a guidance mode name as accepted by the cmd/ralin-*
+// -guidance flag.
+func ParseGuidance(s string) (Guidance, error) {
+	switch s {
+	case "auto", "":
+		return GuidanceAuto, nil
+	case "rank-order", "rank":
+		return GuidanceRankOrder, nil
+	case "guided":
+		return GuidanceGuided, nil
+	default:
+		return GuidanceAuto, fmt.Errorf("unknown guidance %q (want auto, rank-order or guided)", s)
+	}
+}
+
+// ResolveGuidance reports which branch-ordering mode a CheckOptions.Guidance
+// value selects: GuidanceAuto resolves to GuidanceRankOrder, everything else
+// is itself. Tools use it to report the mode that actually runs.
+func ResolveGuidance(g Guidance) Guidance {
+	if g == GuidanceGuided {
+		return GuidanceGuided
+	}
+	return GuidanceRankOrder
+}
+
 // EngineSession is an opaque handle to cross-check state owned by a search
 // engine: interned state IDs, memo-table arenas and pooled scratch that one
 // batch of checks (for example a harness.CheckRandomHistories run) reuses
@@ -114,6 +181,11 @@ type CheckOptions struct {
 	MaxExtensions int
 	// Engine selects the algorithm used for the exhaustive phase.
 	Engine Engine
+	// Guidance selects the pruned engine's branch ordering: rank order (the
+	// deterministic default, also what GuidanceAuto resolves to) or guided
+	// heuristic ordering. Guidance never changes a verdict — only Nodes and
+	// wall-clock. See the Guidance constants.
+	Guidance Guidance
 	// Parallelism bounds the number of worker goroutines the pruned engine
 	// fans the top-level branches across. Zero means GOMAXPROCS; one forces a
 	// sequential search.
@@ -487,8 +559,11 @@ func applyEngineOutcome(res *Result, out EngineOutcome) {
 // (not only the visible ones). This corresponds to the "standard definition
 // of linearizability ... assuming a standard Set specification" discussed in
 // Section 2.2, adapted to visibility-based histories. Only the Engine,
-// Parallelism, MaxExtensions, MaxNodes and DisableMemo options are consulted;
-// strategies and rewritings do not apply.
+// Guidance, Parallelism, MaxExtensions, MaxNodes and DisableMemo options are
+// consulted; strategies and rewritings do not apply. In strong mode guided
+// ordering applies without the query-commit reduction (a strong-mode query is
+// judged against the full preceding prefix, so its justification is not final
+// at enablement).
 func CheckStrongLinearizable(h *History, spec Spec, opts CheckOptions) Result {
 	res := checkStrongLinearizable(h, spec, opts)
 	res.finalizeVerdict()

@@ -25,6 +25,11 @@ type Options struct {
 	// Engine selects the exhaustive-search engine for every check
 	// (EngineAuto keeps the registered default, the pruned engine).
 	Engine core.Engine
+	// Guidance selects the pruned engine's branch ordering for every check
+	// (GuidanceAuto keeps the deterministic rank order; GuidanceGuided opts
+	// into heuristic ordering — same verdicts, different node counts). See
+	// core.Guidance.
+	Guidance core.Guidance
 	// Parallelism bounds the inner search parallelism of each check. Zero
 	// leaves the choice to the engine (GOMAXPROCS, or the adaptive
 	// batch/inner split inside a batch pool).
@@ -60,11 +65,15 @@ type Options struct {
 	Check *core.CheckOptions
 }
 
-// Tune applies the engine selection and parallelism of the Options to
-// checker options. A pinned opts.Parallelism wins over o.Parallelism.
+// Tune applies the engine selection, branch-ordering guidance and parallelism
+// of the Options to checker options. A pinned opts.Parallelism wins over
+// o.Parallelism; a pinned opts.Guidance wins over o.Guidance.
 func (o Options) Tune(opts core.CheckOptions) core.CheckOptions {
 	if o.Engine != core.EngineAuto {
 		opts.Engine = o.Engine
+	}
+	if opts.Guidance == core.GuidanceAuto {
+		opts.Guidance = o.Guidance
 	}
 	if opts.Parallelism == 0 {
 		opts.Parallelism = o.Parallelism

@@ -1,0 +1,160 @@
+package search
+
+import (
+	"strconv"
+	"sync"
+
+	"ralin/internal/core"
+)
+
+// Guided branch ordering (core.GuidanceGuided) layers two heuristics on the
+// pruned DFS, both differentially gated to be verdict-preserving:
+//
+//   - Query commit: in RA mode, once a query reaches the frontier every one
+//     of its visibility predecessors is placed, so its justification set is
+//     final — placing it can neither change the main update projection nor any
+//     other pending query's justification. Committing to the enabled query
+//     (exploring only that branch) is therefore a sound exchange-argument
+//     reduction: any witness that places the query later can be reordered to
+//     place it now, and if the query's final justification is inadmissible, no
+//     extension of the prefix can ever place it. This is where guided mode's
+//     refutation wins come from — pure sibling *re*ordering cannot shrink a
+//     complete (refuting) search, whose explored configuration DAG is a
+//     property of the history, not of the visit order.
+//
+//   - Composite-score ordering of the remaining candidates: novel spec states
+//     first (the step lands on a state key the session interner has not seen —
+//     probed read-only, so ordering never grows the interner), then ops that
+//     justify more pending queries (condition (iii) progress), then a
+//     per-label-class success score learned across a session's batch. Ties
+//     keep rank order, so the ordering is deterministic given the session
+//     state.
+
+// guideClassBits is the width of the success-score field in a composite
+// branch score; the query-justification count sits above it and the novelty
+// bit above that.
+const (
+	guideClassBits   = 20
+	guideClassMax    = int64(1)<<guideClassBits - 1
+	guideJustifyBits = 10
+	guideJustifyMax  = int64(1)<<guideJustifyBits - 1
+	guideNoveltyBit  = int64(1) << (guideClassBits + guideJustifyBits)
+)
+
+// scoreDecay and scoreEpsilon shape the success counters: each recorded check
+// outcome halves every counter before crediting, so the table tracks the
+// recent batch, and counters that decay below epsilon are dropped so the
+// table's size is bounded by the label classes of recent checks.
+const (
+	scoreDecay   = 0.5
+	scoreEpsilon = 1.0 / 1024
+)
+
+// scoreTable is the session's guided-mode success memory: a decayed counter
+// per label class (method + kind), credited with the classes of every witness
+// a guided check finds and decayed on every completed guided check — so a
+// class that keeps appearing in witnesses sorts before one that never does.
+// It lives beside the session's plan pool and is dropped with the other
+// caches on budget eviction. All methods are safe for concurrent use and
+// nil-safe (a nil table scores everything zero and records nothing), so
+// sessionless guided checks pay no lookups.
+type scoreTable struct {
+	mu     sync.RWMutex
+	scores map[string]float64
+}
+
+func newScoreTable() *scoreTable {
+	return &scoreTable{scores: make(map[string]float64)}
+}
+
+// guideClass is the success-score key of a label: its method name and kind.
+// Object is deliberately excluded — scores should transfer across the many
+// objects of a batch, not fragment per key.
+func guideClass(l *core.Label) string {
+	if l.Kind == core.KindUpdate {
+		return l.Method
+	}
+	return l.Method + "|" + strconv.Itoa(int(l.Kind))
+}
+
+// score returns the clamped integer success score of one label class, scaled
+// into the low guideClassBits of a composite branch score.
+func (t *scoreTable) score(class string) int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.RLock()
+	v := t.scores[class]
+	t.mu.RUnlock()
+	s := int64(v * 1024)
+	if s > guideClassMax {
+		return guideClassMax
+	}
+	return s
+}
+
+// record folds one completed guided check into the table: every counter
+// decays, then the classes appearing in the witness (deduplicated — a class
+// is credited once per check, however often it occurs) are credited. A
+// refutation records with a nil witness: decay only, so stale credit fades
+// across a refutation-heavy batch.
+func (t *scoreTable) record(witness []*core.Label) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for k, v := range t.scores {
+		v *= scoreDecay
+		if v < scoreEpsilon {
+			delete(t.scores, k)
+		} else {
+			t.scores[k] = v
+		}
+	}
+	var credited []string
+	for _, l := range witness {
+		class := guideClass(l)
+		dup := false
+		for _, c := range credited {
+			if c == class {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			credited = append(credited, class)
+			t.scores[class]++
+		}
+	}
+}
+
+// buildGuide fills p.guide with the static (per-check) component of every
+// label's branch score: the pending-query justification count (RA mode —
+// strong mode judges queries against the whole prefix, so the count carries
+// no (iii) progress there) and the session success score of the label's
+// class. The dynamic novelty bit is added per node by the searcher. Called
+// once per guided check, after build; the slice is pooled with the plan.
+func (p *prepared) buildGuide(tab *scoreTable, strong bool) {
+	p.guide = resizeInt64s(p.guide, len(p.labels))
+	for i, l := range p.labels {
+		var sc int64
+		if !strong {
+			j := int64(len(p.affected[i]))
+			if j > guideJustifyMax {
+				j = guideJustifyMax
+			}
+			sc = j << guideClassBits
+		}
+		p.guide[i] = sc | tab.score(guideClass(l))
+	}
+}
+
+// resizeInt64s returns a length-n int64 slice, reusing s's backing array when
+// it is large enough. Contents are unspecified; callers overwrite every entry.
+func resizeInt64s(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}

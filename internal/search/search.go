@@ -84,6 +84,16 @@ func Run(h *core.History, spec core.Spec, strong bool, opts core.CheckOptions) c
 	if err := pre.build(h, strong); err != nil {
 		return core.EngineOutcome{Complete: true, LastErr: err}
 	}
+	// Guided mode (core.GuidanceGuided): precompute the static branch scores
+	// once per check; the searcher adds the dynamic novelty bit per node. The
+	// score table is read through the pointer pinned for this check — eviction
+	// only runs while the session is idle.
+	guided := core.ResolveGuidance(opts.Guidance) == core.GuidanceGuided
+	var guideTab *scoreTable
+	if guided {
+		guideTab = sess.guideScores()
+		pre.buildGuide(guideTab, strong)
+	}
 	sh := newShared(nodeBudget(opts))
 	sh.sess = sess
 	if sess != nil {
@@ -138,12 +148,16 @@ func Run(h *core.History, spec core.Spec, strong bool, opts core.CheckOptions) c
 	}
 	if workers <= 1 {
 		s := newSearcher(sess.getSearcher(), pre, spec, strong, intern, memo, sh, nil, 0)
+		s.guided = guided
 		if runGuarded(sh, func() { s.dfs() }) {
 			s.flush()
 			sess.putSearcher(s)
 		}
 		out := sh.outcome(1)
 		out.PlanReused = planReused
+		if guided && out.Complete {
+			guideTab.record(out.Witness)
+		}
 		return out
 	}
 
@@ -160,6 +174,7 @@ func Run(h *core.History, spec core.Spec, strong bool, opts core.CheckOptions) c
 		go func(id int) {
 			defer wg.Done()
 			s := newSearcher(sess.getSearcher(), pre, spec, strong, intern, memo, sh, queue, id)
+			s.guided = guided
 			ok := runGuarded(sh, func() {
 				for {
 					item, ok := queue.pop()
@@ -194,6 +209,9 @@ func Run(h *core.History, spec core.Spec, strong bool, opts core.CheckOptions) c
 	wg.Wait()
 	out := sh.outcome(workers)
 	out.PlanReused = planReused
+	if guided && out.Complete {
+		guideTab.record(out.Witness)
+	}
 	return out
 }
 
@@ -248,8 +266,13 @@ type prepared struct {
 	queries []int
 	// order lists all label indices sorted by generator sequence; candidates
 	// are tried in this order so the search reaches execution-order-like
-	// witnesses first.
+	// witnesses first (and it is the deterministic tie-break of guided mode).
 	order []int
+	// guide[i] is the static component of label i's guided branch score
+	// (pending-query justification count and session success score), filled by
+	// buildGuide only for guided checks; the searcher ORs in the per-node
+	// novelty bit. Pooled like every other slice here.
+	guide []int64
 	// idx maps label identifiers to indices while building; reused across
 	// checks like every other slice here.
 	idx map[uint64]int

@@ -114,6 +114,19 @@ type searcher struct {
 	// cands[d] is the frontier scratch of donation-eligible depth d.
 	cands [maxDonateDepth][]int
 
+	// guided enables heuristic branch ordering (core.GuidanceGuided): enabled
+	// queries are committed to immediately (RA mode), remaining candidates are
+	// ordered by pre.guide plus the per-node novelty bit. Set by Run right
+	// after construction; false is rank order, the byte-identical historical
+	// behaviour.
+	guided bool
+	// ord[d] is the guided frontier scratch of depth d (grown lazily, only in
+	// guided mode — the donation-eligible depths keep using cands).
+	ord [][]int
+	// scoreBuf is the transient per-node score scratch orderCands sorts
+	// alongside the candidates; only live during one ordering.
+	scoreBuf []int64
+
 	reason  pruneReason
 	nodes   int64
 	leaves  int64
@@ -181,6 +194,7 @@ func newSearcher(recycled *searcher, pre *prepared, spec core.Spec, strong bool,
 func (s *searcher) release() {
 	s.reset()
 	s.reason = pruneReason{} // flush already rendered it; drop its labels
+	s.guided = false
 	s.pre = nil
 	s.spec = nil
 	s.stepper = nil
@@ -337,8 +351,24 @@ func (s *searcher) dfs() status {
 			s.sh.tripMemBudget()
 		}
 	}
+	if s.guided && !s.strong {
+		// Query commit: a frontier query's justification is final (every
+		// visible update is placed), and placing it touches neither the main
+		// update projection nor any other pending query's justification — so
+		// by an exchange argument the subtree that places it right now covers
+		// the whole node: any witness placing it later reorders to one placing
+		// it now, and an inadmissible final justification refutes every
+		// extension. Exploring only this branch is the reduction that shrinks
+		// complete (refuting) searches, which pure sibling reordering cannot.
+		if q := s.enabledQuery(); q >= 0 {
+			return s.explore(q)
+		}
+	}
 	if depth := len(s.seq); s.queue != nil && depth < maxDonateDepth {
 		return s.exploreSplit(depth)
+	}
+	if s.guided {
+		return s.exploreGuided(len(s.seq))
 	}
 	for _, i := range s.pre.order {
 		if s.indegree[i] != 0 || s.placed.get(i) {
@@ -349,6 +379,119 @@ func (s *searcher) dfs() status {
 		}
 	}
 	return sExhausted
+}
+
+// enabledQuery returns the first frontier query in ascending query order, or
+// -1 when no query is enabled (RA mode only; strong-mode plans have no query
+// index).
+func (s *searcher) enabledQuery() int {
+	for _, q := range s.pre.queries {
+		if s.indegree[q] == 0 && !s.placed.get(q) {
+			return q
+		}
+	}
+	return -1
+}
+
+// exploreGuided is the guided deep-node candidate loop: collect the frontier
+// into per-depth scratch, order it by composite score (orderCands), and
+// explore in that order. The recursion under explore uses strictly deeper
+// scratch slots, so the slice iterated here stays intact.
+func (s *searcher) exploreGuided(depth int) status {
+	for len(s.ord) <= depth {
+		s.ord = append(s.ord, nil)
+	}
+	cands := s.ord[depth][:0]
+	for _, i := range s.pre.order {
+		if s.indegree[i] == 0 && !s.placed.get(i) {
+			cands = append(cands, i)
+		}
+	}
+	s.orderCands(cands)
+	s.ord[depth] = cands
+	for _, i := range cands {
+		if st := s.explore(i); st != sExhausted {
+			return st
+		}
+	}
+	return sExhausted
+}
+
+// orderCands sorts frontier candidates in place by descending composite
+// score: the novelty bit (the step reaches a spec state the interner has not
+// seen) above the static pre.guide score (pending-query justification count,
+// then session success score). The insertion sort is stable, so equal scores
+// keep rank order — ordering is a deterministic function of the session state
+// at node entry.
+func (s *searcher) orderCands(cands []int) {
+	if len(cands) < 2 {
+		return
+	}
+	sb := s.scoreBuf[:0]
+	for _, i := range cands {
+		sc := s.pre.guide[i]
+		if s.novel(i) {
+			sc |= guideNoveltyBit
+		}
+		sb = append(sb, sc)
+	}
+	s.scoreBuf = sb
+	for k := 1; k < len(cands); k++ {
+		ci, cs := cands[k], sb[k]
+		j := k - 1
+		for ; j >= 0 && sb[j] < cs; j-- {
+			cands[j+1], sb[j+1] = cands[j], sb[j]
+		}
+		cands[j+1], sb[j+1] = ci, cs
+	}
+}
+
+// novel reports whether placing label i reaches at least one spec state whose
+// canonical key the interner has not seen. The probe is read-only (interner
+// peek, no insertion), so ordering neither grows the interner nor consumes
+// its budget; queries never advance the main set and are never novel. Once
+// keying is off the signal degrades to false for everyone — ordering then
+// rests on the static scores alone.
+func (s *searcher) novel(i int) bool {
+	l := s.pre.labels[i]
+	if !s.keyable || l.IsQuery() {
+		return false
+	}
+	if s.stepper != nil {
+		for _, phi := range s.main {
+			sc := s.stepper.StepAppend(s.stepScratch[:0], phi, l)
+			s.stepScratch = sc
+			if s.anyNovel(sc) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, phi := range s.main {
+		if s.anyNovel(s.spec.Step(phi, l)) {
+			return true
+		}
+	}
+	return false
+}
+
+// anyNovel reports whether any of the states has a canonical key the interner
+// has not seen yet.
+func (s *searcher) anyNovel(states []core.AbsState) bool {
+	for _, nxt := range states {
+		keyer, ok := nxt.(core.StateKeyer)
+		if !ok {
+			continue
+		}
+		key, ok := keyer.StateKey()
+		if !ok {
+			continue
+		}
+		if !s.intern.has(key) {
+			return true
+		}
+	}
+	return false
 }
 
 // exploreSplit is the shallow-depth candidate loop of the work-stealing
@@ -362,6 +505,12 @@ func (s *searcher) exploreSplit(depth int) status {
 		if s.indegree[i] == 0 && !s.placed.get(i) {
 			cands = append(cands, i)
 		}
+	}
+	if s.guided {
+		// Guided ordering applies before the split, so the branch this worker
+		// keeps for itself is the best-scored one and donations drain in score
+		// order.
+		s.orderCands(cands)
 	}
 	s.cands[depth] = cands
 	if len(cands) > 1 && s.queue.hungry() {

@@ -1,0 +1,90 @@
+// Command mdlinks fails on broken intra-repository markdown links: it walks
+// every .md file under the given root (default "."), extracts inline
+// [text](target) links, and checks that each relative target — with any
+// #fragment stripped — resolves to an existing file or directory. External
+// links (with a URL scheme), pure fragments, and targets that escape the root
+// (GitHub-page-relative paths like a workflow badge) are skipped; checking
+// the web is a job for a crawler, keeping the repo's own cross-references
+// intact is a job for CI. Wired into the docs job of
+// .github/workflows/ci.yml and `make lint`.
+//
+// Usage: go run ./scripts/mdlinks [root]
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links, non-greedily so adjacent links on one
+// line split correctly. Image links ![alt](target) match too via the optional
+// leading bang — their targets must resolve just the same.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	broken := 0
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "node_modules" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		broken += checkFile(root, path)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdlinks: %v\n", err)
+		os.Exit(3)
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "mdlinks: %d broken intra-repo link(s)\n", broken)
+		os.Exit(1)
+	}
+}
+
+func checkFile(root, path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdlinks: %s: %v\n", path, err)
+		os.Exit(3)
+	}
+	broken := 0
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), target)
+			if rel, err := filepath.Rel(root, resolved); err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+				continue // escapes the repo: page-relative GitHub URL, not a file reference
+			}
+			if _, err := os.Stat(resolved); err != nil {
+				fmt.Printf("%s:%d: broken link %q (resolved %s)\n", path, lineNo+1, m[1], resolved)
+				broken++
+			}
+		}
+	}
+	return broken
+}
