@@ -7,8 +7,13 @@ GO ?= go
 # and reported but would gate on the host's core count, not the code. The
 # gate fails on a >1% allocs/op increase and (same-CPU runs, NS_THRESHOLD>0)
 # on a >$(NS_THRESHOLD)% ns/op regression vs the committed BENCH_results.json.
+# On top of the relative diffs, ZERO_ALLOC_PATTERN is an absolute assertion:
+# the warm-session re-check steady state must report exactly 0 allocs/op,
+# baseline regardless, so a reintroduced per-check allocation fails the gate
+# even if the committed baseline carried it too.
 BENCH_GATE_PATTERN = BenchmarkEngineNonLinearizable|BenchmarkBatchCheckRandomHistories|BenchmarkBatchRefutations|BenchmarkSessionRecheck|BenchmarkScenarioCorpus|BenchmarkGuidedVsRankOrder
 NS_THRESHOLD ?= 25
+ZERO_ALLOC_PATTERN = ^BenchmarkSessionRecheck/session\b
 # NS_BASELINE optionally names a second, same-runner baseline JSON (the CI
 # cache regenerated on every merge to main): when set, bench-gate runs an
 # additional ns/op-only diff against it with NS_BASELINE_THRESHOLD, so
@@ -58,7 +63,7 @@ bench-json:
 bench-gate:
 	$(GO) test -run '^$$' -bench '$(BENCH_GATE_PATTERN)' -benchmem -benchtime 50x -count 1 . > bench-gate-raw.txt
 	$(GO) run ./cmd/ralin-bench2json < bench-gate-raw.txt > bench-gate.json
-	$(GO) run ./cmd/ralin-benchdiff -baseline BENCH_results.json -candidate bench-gate.json -max-ns-regression $(NS_THRESHOLD) -max-allocs-regression 1
+	$(GO) run ./cmd/ralin-benchdiff -baseline BENCH_results.json -candidate bench-gate.json -max-ns-regression $(NS_THRESHOLD) -max-allocs-regression 1 -assert-zero-allocs '$(ZERO_ALLOC_PATTERN)'
 	@if [ -n "$(NS_BASELINE)" ]; then \
 		echo "ns/op gate against same-runner baseline $(NS_BASELINE):"; \
 		$(GO) run ./cmd/ralin-benchdiff -baseline "$(NS_BASELINE)" -candidate bench-gate.json -max-ns-regression $(NS_BASELINE_THRESHOLD) -max-allocs-regression -1; \

@@ -19,6 +19,12 @@
 //     everywhere; CI uses that, because hosted runners report generic CPU
 //     strings that match across genuinely different shared-VM hardware.
 //
+// A third, absolute gate is optional: -assert-zero-allocs names candidate
+// benchmarks (by regexp) that must report exactly 0 allocs/op, baseline
+// regardless — the warm-session re-check steady state is pinned this way, so
+// a single reintroduced per-check allocation fails the gate even if the
+// committed baseline also carried it.
+//
 // Only benchmarks whose name matches -match are gated — by default the
 // scheduling-independent variants of the refutation and batch-checking
 // benchmarks (sequential searches, single-worker batches), because variants
@@ -76,6 +82,7 @@ func main() {
 	maxNS := flag.Float64("max-ns-regression", 25, "maximum tolerated ns/op regression in percent (same-CPU runs); <= 0 makes ns/op advisory")
 	maxAllocs := flag.Float64("max-allocs-regression", 0, "maximum tolerated allocs/op regression in percent; < 0 makes allocs/op advisory (for ns-only gates against a runner-cached baseline)")
 	forceNS := flag.Bool("force-ns", false, "gate ns/op even when baseline and candidate ran on different CPUs")
+	assertZero := flag.String("assert-zero-allocs", "", "regexp selecting candidate benchmarks whose allocs/op must be exactly 0 — an absolute gate, independent of the baseline; empty disables it")
 	flag.Parse()
 
 	if *candidatePath == "" {
@@ -87,6 +94,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ralin-benchdiff: bad -match:", err)
 		os.Exit(2)
 	}
+	var zeroRe *regexp.Regexp
+	if *assertZero != "" {
+		zeroRe, err = regexp.Compile(*assertZero)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ralin-benchdiff: bad -assert-zero-allocs:", err)
+			os.Exit(2)
+		}
+	}
 	baseline, err := load(*baselinePath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ralin-benchdiff:", err)
@@ -97,9 +112,46 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ralin-benchdiff:", err)
 		os.Exit(2)
 	}
-	if diff(os.Stdout, baseline, candidate, re, *maxNS, *maxAllocs, *forceNS) > 0 {
+	failures := diff(os.Stdout, baseline, candidate, re, *maxNS, *maxAllocs, *forceNS)
+	failures += assertZeroAllocs(os.Stdout, candidate, zeroRe)
+	if failures > 0 {
 		os.Exit(1)
 	}
+}
+
+// assertZeroAllocs enforces the absolute allocation gate: every candidate
+// benchmark matching re must report exactly 0 allocs/op. A missing metric
+// fails (the run must use -benchmem), and so does a pattern matching nothing
+// — the assertion cannot be silenced by renaming the benchmark. Returns the
+// number of failures; re nil disables the gate.
+func assertZeroAllocs(w io.Writer, candidate *Document, re *regexp.Regexp) int {
+	if re == nil {
+		return 0
+	}
+	failures, matched := 0, 0
+	for _, c := range candidate.Benchmarks {
+		if !re.MatchString(c.Name) {
+			continue
+		}
+		matched++
+		k := key(c.Name)
+		a, ok := c.Metrics["allocs/op"]
+		switch {
+		case !ok:
+			failures++
+			fmt.Fprintf(w, "FAIL  %-55s allocs/op missing from candidate (run with -benchmem)\n", k)
+		case a != 0:
+			failures++
+			fmt.Fprintf(w, "FAIL  %-55s allocs/op = %.0f, must be exactly 0\n", k, a)
+		default:
+			fmt.Fprintf(w, "ok    %-55s allocs/op = 0 (asserted)\n", k)
+		}
+	}
+	if matched == 0 {
+		failures++
+		fmt.Fprintf(w, "FAIL  no candidate benchmark matched -assert-zero-allocs %q\n", re)
+	}
+	return failures
 }
 
 func load(path string) (*Document, error) {

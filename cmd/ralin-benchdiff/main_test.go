@@ -143,3 +143,33 @@ func TestKeyStripsGOMAXPROCSSuffix(t *testing.T) {
 		t.Fatal("suffix stripping wrong")
 	}
 }
+
+func TestAssertZeroAllocs(t *testing.T) {
+	re := regexp.MustCompile(`^BenchmarkSessionRecheck/session\b`)
+	var out strings.Builder
+	clean := doc("cpuA", bench("BenchmarkSessionRecheck/session-4", 1000, 0))
+	if n := assertZeroAllocs(&out, clean, re); n != 0 || !strings.Contains(out.String(), "asserted") {
+		t.Fatalf("0 allocs/op must pass the absolute gate (got %d):\n%s", n, out.String())
+	}
+	out.Reset()
+	dirty := doc("cpuA", bench("BenchmarkSessionRecheck/session-4", 1000, 1))
+	if n := assertZeroAllocs(&out, dirty, re); n != 1 || !strings.Contains(out.String(), "must be exactly 0") {
+		t.Fatalf("1 alloc/op must fail the absolute gate (got %d):\n%s", n, out.String())
+	}
+	out.Reset()
+	// A missing metric (run without -benchmem) and a pattern matching nothing
+	// both fail: neither degradation may silence the assertion.
+	bare := doc("cpuA", Result{Name: "BenchmarkSessionRecheck/session-4", Iterations: 1,
+		Metrics: map[string]float64{"ns/op": 1000}})
+	if n := assertZeroAllocs(&out, bare, re); n != 1 || !strings.Contains(out.String(), "missing") {
+		t.Fatalf("missing allocs/op must fail the absolute gate (got %d):\n%s", n, out.String())
+	}
+	out.Reset()
+	other := doc("cpuA", bench("BenchmarkSomethingElse-4", 1000, 0))
+	if n := assertZeroAllocs(&out, other, re); n != 1 || !strings.Contains(out.String(), "matched") {
+		t.Fatalf("an unmatched pattern must fail the absolute gate (got %d):\n%s", n, out.String())
+	}
+	if n := assertZeroAllocs(&out, dirty, nil); n != 0 {
+		t.Fatal("a nil pattern must disable the absolute gate")
+	}
+}

@@ -125,7 +125,11 @@ func TestScenarioCorpusFailSafe(t *testing.T) {
 // actually searches), and the verdicts must be byte-identical — only Nodes
 // may change. On refutations guided must never explore more nodes than rank
 // order: the query-commit reduction only ever shrinks the refutation DAG,
-// while pure sibling reordering leaves it untouched.
+// while pure sibling reordering leaves it untouched. DebugMemo is on for
+// every replay, so the run doubles as the corpus-wide soak of the memo
+// table's collision check and of the word-folded/legacy key bijection (a
+// bitset memo key that split or merged configurations the sorted-ID key
+// distinguished would panic here).
 func TestScenarioCorpusGuidedDifferential(t *testing.T) {
 	entries, paths := loadCorpus(t)
 	for i, e := range entries {
@@ -142,6 +146,7 @@ func TestScenarioCorpusGuidedDifferential(t *testing.T) {
 		opts.Exhaustive = true
 		opts.Engine = core.EnginePruned
 		opts.Parallelism = 1
+		opts.DebugMemo = true
 		opts.Guidance = core.GuidanceRankOrder
 		rank := core.CheckRA(h, plan.Spec, opts)
 		opts.Guidance = core.GuidanceGuided

@@ -426,11 +426,6 @@ func checkRA(h *History, spec Spec, opts CheckOptions) Result {
 		return res
 	}
 
-	try := func(seq []*Label) error {
-		res.Tried++
-		return IsRALinearization(rew.History, seq, spec)
-	}
-
 	for _, s := range opts.Strategies {
 		if inc := ContextIncomplete(opts.Context); inc != nil {
 			res.Incomplete = inc
@@ -446,7 +441,8 @@ func checkRA(h *History, spec Spec, opts CheckOptions) Result {
 		default:
 			continue
 		}
-		if err := try(seq); err == nil {
+		res.Tried++
+		if err := IsRALinearization(rew.History, seq, spec); err == nil {
 			strategy := s
 			res.OK = true
 			res.Complete = true
@@ -484,7 +480,8 @@ func checkRA(h *History, spec Spec, opts CheckOptions) Result {
 		if ctxInc = ContextIncomplete(opts.Context); ctxInc != nil {
 			return false
 		}
-		if err := try(seq); err == nil {
+		res.Tried++
+		if err := IsRALinearization(rew.History, seq, spec); err == nil {
 			found = true
 			witness = seq
 			return false

@@ -20,15 +20,19 @@ type labelAt struct {
 // a dense rank (their insertion index); the relation is stored closure-free as
 // the directly inserted edges (adjacency slices per rank, in edge insertion
 // order) plus an explicit reachability index: one successor bitset per rank,
-// maintained incrementally by AddVis. Vis and Concurrent are single bit
-// probes, VisEdges/VisibleTo/SeenBy iterate the bitsets in rank order, and
-// cycle detection is one bit probe — where the previous representation kept
-// the whole transitive closure as map-of-maps entries and rescanned the full
-// relation per inserted edge.
+// maintained incrementally by AddVis, mirrored by one predecessor bitset per
+// rank so both directions are row sweeps. Vis and Concurrent are single bit
+// probes, VisEdges/SeenBy iterate the successor rows and VisibleTo/indegree
+// setup the predecessor rows in rank order (deterministic for a given
+// history), and cycle detection is one bit probe — where the previous
+// representation kept the whole transitive closure as map-of-maps entries and
+// rescanned the full relation per inserted edge. Adjacency and index rows are
+// carved from chunked per-history arenas (arena.go), so edge insertion
+// allocates only when a chunk fills.
 //
 // Queries (Vis, Concurrent, VisEdges, VisibleTo, SeenBy, Label, Labels, ...)
-// are read-only and safe for concurrent use; Add and AddVis mutate and
-// require external synchronization.
+// are read-only and safe for concurrent use; Add, AddVis and AddVisBatch
+// mutate and require external synchronization.
 type History struct {
 	byID map[uint64]labelAt
 	// seq holds the labels by rank, i.e. in insertion order.
@@ -42,11 +46,25 @@ type History struct {
 	// reach[r] is the reachability row of rank r: bit s is set iff seq[r] is
 	// (transitively) visible to seq[s].
 	reach []bitset
-	// mark/epoch/stack are AddVis's reverse-walk scratch: epoch-stamped
-	// visited marks so propagation allocates nothing per edge.
+	// pred[r] is the mirrored predecessor row: bit s is set iff seq[s] is
+	// (transitively) visible to seq[r] — the transpose of reach, maintained in
+	// lockstep so predecessor queries (VisibleTo, HistoryTimestamp, indegree
+	// setup during plan build) are row sweeps instead of column scans, at 2×
+	// index memory.
+	pred []bitset
+	// mark/epoch/stack are the propagation walks' scratch: epoch-stamped
+	// visited marks so propagating an edge allocates nothing.
 	mark  []uint64
 	epoch uint64
 	stack []int32
+	// words/edgeMem are the chunked arenas the index and adjacency rows are
+	// carved from; runTargets and gain are AddVisBatch's per-run scratch (the
+	// recorded targets, and the exact bits the run added to the source's
+	// reach row — the delta the deferred ancestor flush distributes).
+	words      wordArena
+	edgeMem    int32Arena
+	runTargets []int32
+	gain       bitset
 }
 
 // NewHistory returns an empty history.
@@ -66,6 +84,7 @@ func (h *History) reserve(n int) {
 	h.adjOut = make([][]int32, 0, n)
 	h.adjIn = make([][]int32, 0, n)
 	h.reach = make([]bitset, 0, n)
+	h.pred = make([]bitset, 0, n)
 	h.mark = make([]uint64, 0, n)
 }
 
@@ -83,6 +102,7 @@ func (h *History) Add(l *Label) error {
 	h.adjOut = append(h.adjOut, nil)
 	h.adjIn = append(h.adjIn, nil)
 	h.reach = append(h.reach, nil)
+	h.pred = append(h.pred, nil)
 	h.mark = append(h.mark, 0)
 	return nil
 }
@@ -142,10 +162,38 @@ func (h *History) DirectVisEdges(fn func(from, to uint64)) {
 	}
 }
 
+// touchRow re-carves an index row from the word arena when its capacity
+// cannot hold words words: capacity for the whole current history (or double
+// the old capacity, whichever is larger), so a row re-carves O(log n) times
+// under interleaved Add/AddVis and bitset.grow then always extends in place —
+// the propagation walks allocate nothing per row.
+func (h *History) touchRow(row *bitset, words int) {
+	if cap(*row) >= words {
+		return
+	}
+	want := (len(h.seq) + 63) >> 6
+	if c := 2 * cap(*row); c > want {
+		want = c
+	}
+	if want < words {
+		want = words
+	}
+	fresh := bitset(h.words.carve(want))[:len(*row)]
+	copy(fresh, *row)
+	*row = fresh
+}
+
+// recordEdge appends the direct edge rf -> rt to both adjacency mirrors,
+// carving row growth from the edge arena.
+func (h *History) recordEdge(rf, rt int) {
+	h.adjOut[rf] = h.edgeMem.appendEdge(h.adjOut[rf], int32(rt))
+	h.adjIn[rt] = h.edgeMem.appendEdge(h.adjIn[rt], int32(rf))
+}
+
 // AddVis records that the label with identifier from is visible to the label
-// with identifier to, and maintains the reachability index. Adding an edge
-// that would create a cycle is an error; adding an edge already implied by
-// the relation is a no-op.
+// with identifier to, and maintains the reachability index and its
+// predecessor mirror. Adding an edge that would create a cycle is an error;
+// adding an edge already implied by the relation is a no-op.
 func (h *History) AddVis(from, to uint64) error {
 	if from == to {
 		return fmt.Errorf("history: visibility edge %d -> %d is reflexive", from, to)
@@ -167,20 +215,24 @@ func (h *History) AddVis(from, to uint64) error {
 		// edge is not even recorded (the adjacency stays a generating set).
 		return nil
 	}
-	h.adjOut[rf] = append(h.adjOut[rf], int32(rt))
-	h.adjIn[rt] = append(h.adjIn[rt], int32(rf))
-	h.propagate(rf, rt)
+	h.recordEdge(rf, rt)
+	h.propagateReach(rf, rt)
+	h.propagatePred(rf, rt)
 	return nil
 }
 
-// propagate folds the new edge rf -> rt into the reachability index: the
+// propagateReach folds the new edge rf -> rt into the reachability index: the
 // target's successor row (plus the target itself) is OR-ed into the source's
 // row and into every rank that reaches the source, found by walking the
 // reverse adjacency — not by scanning the whole relation. A rank whose row
 // already absorbed the delta stops the walk early: its own predecessors' rows
 // are supersets of it by the index invariant.
-func (h *History) propagate(rf, rt int) {
+func (h *History) propagateReach(rf, rt int) {
 	delta := h.reach[rt]
+	need := (rt >> 6) + 1
+	if len(delta) > need {
+		need = len(delta)
+	}
 	h.epoch++
 	stack := append(h.stack[:0], int32(rf))
 	h.mark[rf] = h.epoch
@@ -188,6 +240,7 @@ func (h *History) propagate(rf, rt int) {
 		r := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		row := &h.reach[r]
+		h.touchRow(row, need)
 		changed := row.set(rt)
 		if row.orInto(delta) {
 			changed = true
@@ -205,11 +258,262 @@ func (h *History) propagate(rf, rt int) {
 	h.stack = stack[:0]
 }
 
+// propagatePred is propagateReach's mirror image for the predecessor index:
+// the source's predecessor row (plus the source itself) is OR-ed into the
+// target's row and into every rank the target reaches, walking the forward
+// adjacency. The early stop is the transposed invariant: a successor's
+// predecessor row is a superset of each of its parents'.
+func (h *History) propagatePred(rf, rt int) {
+	delta := h.pred[rf]
+	need := (rf >> 6) + 1
+	if len(delta) > need {
+		need = len(delta)
+	}
+	h.epoch++
+	stack := append(h.stack[:0], int32(rt))
+	h.mark[rt] = h.epoch
+	for len(stack) > 0 {
+		r := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		row := &h.pred[r]
+		h.touchRow(row, need)
+		changed := row.set(rf)
+		if row.orInto(delta) {
+			changed = true
+		}
+		if !changed {
+			continue
+		}
+		for _, s := range h.adjOut[r] {
+			if h.mark[s] != h.epoch {
+				h.mark[s] = h.epoch
+				stack = append(stack, s)
+			}
+		}
+	}
+	h.stack = stack[:0]
+}
+
 // MustAddVis is AddVis for construction code.
 func (h *History) MustAddVis(from, to uint64) {
 	if err := h.AddVis(from, to); err != nil {
 		panic(err)
 	}
+}
+
+// VisEdge is one directed visibility edge by label identifier, the element
+// type of AddVisBatch.
+type VisEdge struct {
+	// From is the label that becomes visible to To.
+	From uint64
+	// To is the observing label.
+	To uint64
+}
+
+// AddVisBatch inserts a sequence of visibility edges with deferred, merged
+// propagation: consecutive edges sharing a source form a run whose transitive
+// fan-out is flushed once per run instead of once per edge. The observable
+// outcome — recorded adjacency, skipped implied edges, the closure, errors
+// and their messages — is identical to applying the same sequence through
+// AddVis; on the first error the already-applied prefix is fully propagated
+// and the error is returned (the remaining edges are not attempted). Bulk
+// construction paths whose edges are naturally grouped by source (Project,
+// scenario delivery) get the closure maintenance at one reverse walk and one
+// forward walk per source instead of per edge.
+func (h *History) AddVisBatch(edges []VisEdge) error {
+	for i := 0; i < len(edges); {
+		j := i + 1
+		for j < len(edges) && edges[j].From == edges[i].From {
+			j++
+		}
+		if err := h.addVisRun(edges[i].From, edges[i:j]); err != nil {
+			return err
+		}
+		i = j
+	}
+	return nil
+}
+
+// eagerApply folds one recorded run edge rf -> rt into the rows the rest of
+// the run reads: the source's reach row (so in-run implication checks see
+// every consequence), the target's pred row (its full new ancestry, final
+// because pred[rf] cannot change during the run), and the run-gain scratch
+// (the delta the deferred ancestor flush will distribute).
+func (h *History) eagerApply(rf, rt int) {
+	rrow := &h.reach[rf]
+	need := (rt >> 6) + 1
+	if len(h.reach[rt]) > need {
+		need = len(h.reach[rt])
+	}
+	h.touchRow(rrow, need)
+	rrow.set(rt)
+	rrow.orInto(h.reach[rt])
+	h.gain.set(rt)
+	h.gain.orInto(h.reach[rt])
+	prow := &h.pred[rt]
+	need = (rf >> 6) + 1
+	if len(h.pred[rf]) > need {
+		need = len(h.pred[rf])
+	}
+	h.touchRow(prow, need)
+	prow.set(rf)
+	prow.orInto(h.pred[rf])
+}
+
+// addVisRun applies one same-source run with deferred propagation. Per edge
+// it performs the exact AddVis checks and records the adjacency; while only
+// one edge has been recorded its propagation stays pending, so a run that
+// records a single edge (every run of a chain replay) degrades to exactly
+// the AddVis propagation pair. The moment a second candidate passes the
+// cycle check the pending edge is materialized through eagerApply — the
+// source's reach row must be current before the candidate's implication
+// check — and the run switches to merged mode: per recorded edge only the
+// eager rows are maintained, and the transitive fan-out is flushed once at
+// the end. This is equivalent to sequential AddVis because every edge of the
+// run leaves the source: no new path into the source (or into any other
+// rank's ancestry of it) can form, so the cycle check's row is current
+// wherever it matters, and the eagerly grown source row makes in-run
+// implications visible exactly as full propagation would.
+func (h *History) addVisRun(from uint64, run []VisEdge) error {
+	var err error
+	rf := -1
+	pending := -1
+	multi := false
+	h.runTargets = h.runTargets[:0]
+	h.gain = h.gain[:0]
+	for _, e := range run {
+		to := e.To
+		if from == to {
+			err = fmt.Errorf("history: visibility edge %d -> %d is reflexive", from, to)
+			break
+		}
+		if rf < 0 {
+			fa, ok := h.byID[from]
+			if !ok {
+				err = fmt.Errorf("history: unknown label %d in visibility edge", from)
+				break
+			}
+			rf = int(fa.rank)
+		}
+		ta, ok := h.byID[to]
+		if !ok {
+			err = fmt.Errorf("history: unknown label %d in visibility edge", to)
+			break
+		}
+		rt := int(ta.rank)
+		if h.reach[rt].test(rf) {
+			err = fmt.Errorf("history: visibility edge %d -> %d creates a cycle", from, to)
+			break
+		}
+		if pending >= 0 {
+			h.eagerApply(rf, pending)
+			pending = -1
+			multi = true
+		}
+		if h.reach[rf].test(rt) {
+			continue
+		}
+		h.recordEdge(rf, rt)
+		h.runTargets = append(h.runTargets, int32(rt))
+		if !multi {
+			pending = rt
+			continue
+		}
+		h.eagerApply(rf, rt)
+	}
+	switch {
+	case pending >= 0:
+		h.propagateReach(rf, pending)
+		h.propagatePred(rf, pending)
+	case len(h.runTargets) > 0:
+		h.flushReach(rf)
+		h.flushPred(rf, h.runTargets)
+	}
+	h.runTargets = h.runTargets[:0]
+	return err
+}
+
+// flushReach propagates a merged run's source-row gain to every ancestor of
+// rf: a rank that reaches rf absorbs the run-gain scratch (exactly the bits
+// the run added — using the full source row would make ancestors rescan
+// everything the source already reached). The walk seeds from rf's direct
+// predecessors with rf itself pre-marked — absorbing its own gain into
+// itself would be a no-change and stop the walk before it started.
+func (h *History) flushReach(rf int) {
+	delta := h.gain
+	h.epoch++
+	h.mark[rf] = h.epoch
+	stack := h.stack[:0]
+	for _, p := range h.adjIn[rf] {
+		if h.mark[p] != h.epoch {
+			h.mark[p] = h.epoch
+			stack = append(stack, p)
+		}
+	}
+	for len(stack) > 0 {
+		r := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		row := &h.reach[r]
+		h.touchRow(row, len(delta))
+		if !row.orInto(delta) {
+			continue
+		}
+		for _, p := range h.adjIn[r] {
+			if h.mark[p] != h.epoch {
+				h.mark[p] = h.epoch
+				stack = append(stack, p)
+			}
+		}
+	}
+	h.stack = stack[:0]
+}
+
+// flushPred propagates a run's predecessor delta — {rf} ∪ pred[rf], the
+// exact set of new ancestors any rank can have gained, identical for every
+// target because pred[rf] cannot change during the run — to the descendants
+// of the recorded targets. The targets absorbed the delta eagerly and are
+// pre-marked; rf is pre-marked too (it cannot be a target's descendant, that
+// would be a cycle, but marking it keeps the self-bit unreachable even so).
+func (h *History) flushPred(rf int, targets []int32) {
+	delta := h.pred[rf]
+	need := (rf >> 6) + 1
+	if len(delta) > need {
+		need = len(delta)
+	}
+	h.epoch++
+	h.mark[rf] = h.epoch
+	stack := h.stack[:0]
+	for _, t := range targets {
+		h.mark[t] = h.epoch
+	}
+	for _, t := range targets {
+		for _, s := range h.adjOut[t] {
+			if h.mark[s] != h.epoch {
+				h.mark[s] = h.epoch
+				stack = append(stack, s)
+			}
+		}
+	}
+	for len(stack) > 0 {
+		r := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		row := &h.pred[r]
+		h.touchRow(row, need)
+		changed := row.set(rf)
+		if row.orInto(delta) {
+			changed = true
+		}
+		if !changed {
+			continue
+		}
+		for _, s := range h.adjOut[r] {
+			if h.mark[s] != h.epoch {
+				h.mark[s] = h.epoch
+				stack = append(stack, s)
+			}
+		}
+	}
+	h.stack = stack[:0]
 }
 
 // Vis reports whether the label with identifier from is visible to the label
@@ -232,19 +536,18 @@ func (h *History) Concurrent(a, b uint64) bool {
 	return a != b && !h.Vis(a, b) && !h.Vis(b, a)
 }
 
-// VisibleTo returns the labels visible to l (vis⁻¹(l)), in insertion order.
+// VisibleTo returns the labels visible to l (vis⁻¹(l)), in insertion order:
+// one row sweep of the predecessor mirror (the pre-mirror version scanned the
+// reachability column, probing every rank's row).
 func (h *History) VisibleTo(l *Label) []*Label {
 	la, ok := h.byID[l.ID]
 	if !ok {
 		return nil
 	}
-	t := int(la.rank)
 	var out []*Label
-	for r := range h.seq {
-		if h.reach[r].test(t) {
-			out = append(out, h.seq[r])
-		}
-	}
+	h.pred[la.rank].forEach(func(s int) {
+		out = append(out, h.seq[s])
+	})
 	return out
 }
 
@@ -259,6 +562,22 @@ func (h *History) SeenBy(l *Label) []*Label {
 		out = append(out, h.seq[s])
 	})
 	return out
+}
+
+// PredRow calls fn for every rank whose label is visible to the label at
+// rank t, in ascending rank order: the raw predecessor-mirror sweep, exported
+// within the module for the search plan builder's indegree setup.
+func (h *History) PredRow(t int, fn func(s int)) {
+	h.pred[t].forEach(fn)
+}
+
+// SuccRow calls fn for every rank the label at rank f is visible to, in
+// ascending rank order: the successor-row counterpart of PredRow. Together the
+// two let the search plan builder fill its predecessor and successor index
+// lists with one row sweep per label instead of a map-keyed pass over the
+// whole closure edge set.
+func (h *History) SuccRow(f int, fn func(s int)) {
+	h.reach[f].forEach(fn)
 }
 
 // IsAcyclic reports whether the visibility relation is acyclic. Histories
@@ -284,7 +603,9 @@ func (h *History) IsAcyclic() bool {
 	return true
 }
 
-// Clone returns a deep copy of the history (labels are cloned).
+// Clone returns a deep copy of the history (labels are cloned). The copy's
+// adjacency and index rows are carved from its own fresh arenas, so cloning
+// allocates per chunk, not per row.
 func (h *History) Clone() *History {
 	c := &History{
 		byID:   make(map[uint64]labelAt, len(h.byID)),
@@ -292,6 +613,7 @@ func (h *History) Clone() *History {
 		adjOut: make([][]int32, len(h.adjOut)),
 		adjIn:  make([][]int32, len(h.adjIn)),
 		reach:  make([]bitset, len(h.reach)),
+		pred:   make([]bitset, len(h.pred)),
 		mark:   make([]uint64, len(h.mark)),
 	}
 	for r, l := range h.seq {
@@ -300,13 +622,26 @@ func (h *History) Clone() *History {
 		c.byID[cl.ID] = labelAt{label: cl, rank: int32(r)}
 	}
 	for r := range h.adjOut {
-		if len(h.adjOut[r]) > 0 {
-			c.adjOut[r] = append([]int32(nil), h.adjOut[r]...)
+		if n := len(h.adjOut[r]); n > 0 {
+			row := c.edgeMem.carve(n)[:n]
+			copy(row, h.adjOut[r])
+			c.adjOut[r] = row
 		}
-		if len(h.adjIn[r]) > 0 {
-			c.adjIn[r] = append([]int32(nil), h.adjIn[r]...)
+		if n := len(h.adjIn[r]); n > 0 {
+			row := c.edgeMem.carve(n)[:n]
+			copy(row, h.adjIn[r])
+			c.adjIn[r] = row
 		}
-		c.reach[r] = h.reach[r].clone()
+		if n := len(h.reach[r]); n > 0 {
+			row := bitset(c.words.carve(n))[:n]
+			copy(row, h.reach[r])
+			c.reach[r] = row
+		}
+		if n := len(h.pred[r]); n > 0 {
+			row := bitset(c.words.carve(n))[:n]
+			copy(row, h.pred[r])
+			c.pred[r] = row
+		}
 	}
 	return c
 }
@@ -314,26 +649,43 @@ func (h *History) Clone() *History {
 // Project returns the sub-history containing only the labels for which keep
 // returns true, with the visibility relation restricted accordingly. The
 // restriction is taken on the closure, so labels related through a dropped
-// label stay related in the projection.
+// label stay related in the projection. Each kept rank's closure row is
+// inserted as one AddVisBatch run, so propagation in the projection is merged
+// per source instead of per edge.
 func (h *History) Project(keep func(*Label) bool) *History {
 	c := NewHistory()
 	kept := make([]bool, len(h.seq))
+	nkept := 0
 	for r, l := range h.seq {
 		if keep(l) {
 			kept[r] = true
+			nkept++
+		}
+	}
+	c.reserve(nkept)
+	for r, l := range h.seq {
+		if kept[r] {
 			c.MustAdd(l.Clone())
 		}
 	}
+	var run []VisEdge
 	for r, row := range h.reach {
 		if !kept[r] {
 			continue
 		}
 		from := h.seq[r].ID
+		run = run[:0]
 		row.forEach(func(s int) {
 			if kept[s] {
-				c.MustAddVis(from, h.seq[s].ID)
+				run = append(run, VisEdge{From: from, To: h.seq[s].ID})
 			}
 		})
+		if len(run) == 0 {
+			continue
+		}
+		if err := c.AddVisBatch(run); err != nil {
+			panic(err)
+		}
 	}
 	return c
 }
@@ -364,19 +716,16 @@ func (h *History) HistoryTimestamp(l *Label) clock.Timestamp {
 	if !l.TS.IsBottom() {
 		return l.TS
 	}
-	// The reachability index is transitively closed, so the maximum over the
-	// predecessors' own timestamps is the maximum over the whole past.
+	// The predecessor mirror is transitively closed, so the maximum over one
+	// row sweep is the maximum over the whole past.
 	max := clock.Bottom
 	la, ok := h.byID[l.ID]
 	if !ok {
 		return max
 	}
-	t := int(la.rank)
-	for r := range h.seq {
-		if h.reach[r].test(t) {
-			max = max.Max(h.seq[r].TS)
-		}
-	}
+	h.pred[la.rank].forEach(func(s int) {
+		max = max.Max(h.seq[s].TS)
+	})
 	return max
 }
 

@@ -22,7 +22,9 @@ func addVisLabels(n int) *History {
 // worst-case reverse walk) and the final closure holds n·(n-1)/2 pairs.
 // Under the previous map-of-maps closure each edge rescanned the whole
 // relation for predecessors and inserted the new closure pairs one map entry
-// at a time; the index ORs word-sized strides instead.
+// at a time; the index ORs word-sized strides instead. The batch variant
+// replays the same edges through AddVisBatch — a chain is all one-edge runs,
+// so it bounds the batch API's per-edge overhead rather than its merging.
 func BenchmarkAddVisDense(b *testing.B) {
 	for _, n := range []int{256, 1024, 4096} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
@@ -37,12 +39,30 @@ func BenchmarkAddVisDense(b *testing.B) {
 				}
 			}
 		})
+		b.Run(fmt.Sprintf("n=%d/batch", n), func(b *testing.B) {
+			edges := make([]VisEdge, 0, n-1)
+			for id := 1; id < n; id++ {
+				edges = append(edges, VisEdge{From: uint64(id), To: uint64(id + 1)})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				h := addVisLabels(n)
+				b.StartTimer()
+				if err := h.AddVisBatch(edges); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
 // BenchmarkAddVisSparse measures the disjoint-pairs extreme: n/2 independent
 // edges, no transitive consequences, so the cost is the direct-edge append
-// plus one single-bit propagation each — the floor of AddVis.
+// plus one single-bit propagation each — the floor of AddVis, and the shape
+// whose ~3 allocations/edge the chunked arenas eliminate. The batch variant
+// replays the same pairs through AddVisBatch.
 func BenchmarkAddVisSparse(b *testing.B) {
 	for _, n := range []int{256, 1024, 4096} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
@@ -54,6 +74,78 @@ func BenchmarkAddVisSparse(b *testing.B) {
 				b.StartTimer()
 				for id := 1; id+1 <= n; id += 2 {
 					h.MustAddVis(uint64(id), uint64(id+1))
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/batch", n), func(b *testing.B) {
+			edges := make([]VisEdge, 0, n/2)
+			for id := 1; id+1 <= n; id += 2 {
+				edges = append(edges, VisEdge{From: uint64(id), To: uint64(id + 1)})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				h := addVisLabels(n)
+				b.StartTimer()
+				if err := h.AddVisBatch(edges); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// layeredEdges returns the edges of a layered DAG over n labels in layers of
+// width w: every label of one layer visible to every label of the next,
+// grouped by source — long same-source runs, the shape whose propagation
+// AddVisBatch merges (one reverse and one forward flush per source instead
+// of per edge).
+func layeredEdges(n, w int) []VisEdge {
+	var edges []VisEdge
+	for base := 1; base+w <= n; base += w {
+		next := base + w
+		width := w
+		if next+width-1 > n {
+			width = n - next + 1
+		}
+		for u := base; u < base+w; u++ {
+			for v := next; v < next+width; v++ {
+				edges = append(edges, VisEdge{From: uint64(u), To: uint64(v)})
+			}
+		}
+	}
+	return edges
+}
+
+// BenchmarkAddVisLayered measures the run-merging payoff on a layered DAG
+// (width 16): the sequential variant pays the full propagation walk per
+// edge, the batch variant one merged flush per source.
+func BenchmarkAddVisLayered(b *testing.B) {
+	const width = 16
+	for _, n := range []int{256, 1024} {
+		edges := layeredEdges(n, width)
+		b.Run(fmt.Sprintf("n=%d/seq", n), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				h := addVisLabels(n)
+				b.StartTimer()
+				for _, e := range edges {
+					h.MustAddVis(e.From, e.To)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/batch", n), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				h := addVisLabels(n)
+				b.StartTimer()
+				if err := h.AddVisBatch(edges); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})

@@ -274,12 +274,32 @@ func (o *legacyVisOracle) visEdges() map[[2]uint64]bool {
 	return out
 }
 
+// assertPredMirror asserts the predecessor mirror is exactly the transpose
+// of the reachability index: pred[r] has bit s iff reach[s] has bit r, for
+// every ordered pair of ranks. The mirror is maintained by its own
+// propagation walk (propagatePred/flushPred), so any divergence between the
+// two walks shows up here before it can skew VisibleTo or indegree setup.
+func assertPredMirror(t *testing.T, h *History) {
+	t.Helper()
+	n := h.Len()
+	for r := 0; r < n; r++ {
+		for s := 0; s < n; s++ {
+			if got, want := h.pred[r].test(s), h.reach[s].test(r); got != want {
+				t.Fatalf("pred mirror diverged at (pred[%d] bit %d) = %v, transpose wants %v\n%s", r, s, got, want, h)
+			}
+		}
+	}
+}
+
 // assertMatchesOracle compares every visibility query of h against the
 // map-closure oracle: Vis and Concurrent over all ordered pairs (including
 // identifiers outside the history), VisibleTo/SeenBy sequences per label,
-// and the VisEdges edge set (which must also be duplicate-free).
+// and the VisEdges edge set (which must also be duplicate-free). It also
+// asserts h's internal predecessor mirror is the exact transpose of its
+// reachability index.
 func assertMatchesOracle(t *testing.T, h *History, o *legacyVisOracle) {
 	t.Helper()
+	assertPredMirror(t, h)
 	if h.Len() != len(o.order) {
 		t.Fatalf("label count diverged: %d vs %d", h.Len(), len(o.order))
 	}
@@ -348,9 +368,11 @@ func equalIDs(a, b []uint64) bool {
 	return true
 }
 
-// applyEdgeDifferential feeds one AddVis to both representations and asserts
-// they return the same verdict (nil, or the identical error message).
-func applyEdgeDifferential(t *testing.T, h *History, o *legacyVisOracle, from, to uint64) {
+// applyEdgeDifferential feeds one AddVis to both representations — plus the
+// same edge as a one-element AddVisBatch to the batch twin hb, when one is
+// supplied — and asserts every representation returns the same verdict (nil,
+// or the identical error message).
+func applyEdgeDifferential(t *testing.T, h, hb *History, o *legacyVisOracle, from, to uint64) {
 	t.Helper()
 	errNew := h.AddVis(from, to)
 	errOld := o.addVis(from, to)
@@ -359,6 +381,16 @@ func applyEdgeDifferential(t *testing.T, h *History, o *legacyVisOracle, from, t
 	case errNew != nil && errOld != nil && errNew.Error() == errOld.Error():
 	default:
 		t.Fatalf("AddVis(%d, %d) verdicts diverged: bitset %v, oracle %v", from, to, errNew, errOld)
+	}
+	if hb == nil {
+		return
+	}
+	errBatch := hb.AddVisBatch([]VisEdge{{From: from, To: to}})
+	switch {
+	case errBatch == nil && errOld == nil:
+	case errBatch != nil && errOld != nil && errBatch.Error() == errOld.Error():
+	default:
+		t.Fatalf("AddVisBatch(%d, %d) verdicts diverged: batch %v, oracle %v", from, to, errBatch, errOld)
 	}
 }
 
@@ -428,26 +460,55 @@ func TestHistoryBitsetMatchesLegacyOracle(t *testing.T) {
 				rng := rand.New(rand.NewSource(seed))
 				n := 3 + rng.Intn(14)
 				h := NewHistory()
+				hb := NewHistory()
 				o := newLegacyVisOracle()
 				for i := 1; i <= n; i++ {
 					l := mkLabel(uint64(i), "op", KindUpdate)
 					h.MustAdd(l)
+					hb.MustAdd(mkLabel(uint64(i), "op", KindUpdate))
 					if err := o.add(l); err != nil {
 						t.Fatal(err)
 					}
 				}
 				edges := s.edges(rng, n)
 				rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+				var applied []VisEdge
 				for k, e := range edges {
-					applyEdgeDifferential(t, h, o, e[0], e[1])
+					applyEdgeDifferential(t, h, hb, o, e[0], e[1])
+					if h.Vis(e[0], e[1]) {
+						// Accepted (or already implied): part of the prefix a
+						// chunked AddVisBatch replay must reproduce exactly.
+						applied = append(applied, VisEdge{From: e[0], To: e[1]})
+					}
 					// Full-query comparison every few edges and at the end —
 					// per-edge on the last one so divergence is caught at the
 					// smallest counterexample.
 					if k%5 == 4 || k == len(edges)-1 {
 						assertMatchesOracle(t, h, o)
+						assertMatchesOracle(t, hb, o)
 					}
 				}
 				assertMatchesOracle(t, h, o)
+				assertMatchesOracle(t, hb, o)
+				// Chunked-batch variant: replay the accepted edges through
+				// AddVisBatch in arbitrary chunks (runs split mid-stream) and
+				// assert the result matches the oracle too — any chunking of a
+				// sequence must be equivalent to its sequential application.
+				hc := NewHistory()
+				for i := 1; i <= n; i++ {
+					hc.MustAdd(mkLabel(uint64(i), "op", KindUpdate))
+				}
+				for len(applied) > 0 {
+					chunk := 1 + rng.Intn(5)
+					if chunk > len(applied) {
+						chunk = len(applied)
+					}
+					if err := hc.AddVisBatch(applied[:chunk]); err != nil {
+						t.Fatalf("chunked AddVisBatch replay of accepted edges errored: %v", err)
+					}
+					applied = applied[chunk:]
+				}
+				assertMatchesOracle(t, hc, o)
 			}
 		})
 	}
@@ -472,7 +533,7 @@ func TestHistoryCloneProjectMatchOracle(t *testing.T) {
 		for i := 2; i <= n; i++ {
 			for j := 1; j < i; j++ {
 				if rng.Intn(3) == 0 {
-					applyEdgeDifferential(t, h, o, uint64(j), uint64(i))
+					applyEdgeDifferential(t, h, nil, o, uint64(j), uint64(i))
 				}
 			}
 		}

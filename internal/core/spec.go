@@ -89,24 +89,37 @@ func statesFrom(s Spec, states []AbsState, seq []*Label) []AbsState {
 	return states
 }
 
-// dedupKeyedThreshold is the set size above which DedupStates switches from
-// the quadratic EqualAbs scan to the key-based map: below it the map
-// allocation costs more than the handful of comparisons it saves.
+// dedupKeyedThreshold is the set size above which DedupStates leaves the
+// quadratic EqualAbs scan: below it the key machinery costs more than the
+// handful of comparisons it saves.
 const dedupKeyedThreshold = 8
 
+// dedupHashedThreshold is the set size above which keyed deduplication
+// switches from the stack-buffered hash scan to the map: the hash tier's
+// fixed-size buffers hold 64 states, and past that the map's allocation
+// amortizes anyway.
+const dedupHashedThreshold = 64
+
 // DedupStates removes duplicates from a set of abstract states, preserving
-// first occurrences. For sets beyond a small threshold whose states all
-// expose canonical keys (StateKeyer), duplicates are detected by key in one
-// linear pass; otherwise — and always for states without keys — it falls back
-// to the pairwise EqualAbs scan. (The pruned search engine goes further and
-// dedups by interned key ID; this is the shared slow-path used by the legacy
-// enumerator and the Admits/StatesAfter helpers.)
+// first occurrences. Sets up to dedupKeyedThreshold use the pairwise EqualAbs
+// scan (cheapest for a handful of states). Above it, sets whose states all
+// expose canonical keys (StateKeyer) are deduplicated by key: mid-size sets
+// (≤ dedupHashedThreshold) through an allocation-free word-hash scan over
+// stack buffers, larger ones through a map. States without keys always fall
+// back to the EqualAbs scan. The input slice may be reused as the result's
+// backing storage. (The pruned search engine goes further and
+// dedups by interned compact-ID bitset; this is the shared slow-path used by
+// the legacy enumerator and the Admits/StatesAfter helpers.)
 func DedupStates(states []AbsState) []AbsState {
 	if len(states) <= 1 {
 		return states
 	}
 	if len(states) > dedupKeyedThreshold {
-		if out, ok := dedupByKey(states); ok {
+		if len(states) <= dedupHashedThreshold {
+			if out, ok := dedupByHash(states); ok {
+				return out
+			}
+		} else if out, ok := dedupByKey(states); ok {
 			return out
 		}
 	}
@@ -124,6 +137,77 @@ func DedupStates(states []AbsState) []AbsState {
 		}
 	}
 	return out
+}
+
+// dedupByHash removes duplicates by canonical state key without allocating:
+// each key is folded to a 64-bit hash in a stack array, candidates are
+// compared hash-first (one word compare per prior state) and key-verified
+// only on a hash match. Capacity is dedupHashedThreshold states; callers
+// route larger sets to dedupByKey. Reports false as soon as any state does
+// not expose a key.
+func dedupByHash(states []AbsState) ([]AbsState, bool) {
+	var hashes [dedupHashedThreshold]uint64
+	var keys [dedupHashedThreshold]string
+	n := 0
+	w := 0
+	for _, s := range states {
+		keyer, ok := s.(StateKeyer)
+		if !ok {
+			return nil, false
+		}
+		key, ok := keyer.StateKey()
+		if !ok {
+			return nil, false
+		}
+		h := foldKey(key)
+		dup := false
+		for i := 0; i < n; i++ {
+			if hashes[i] == h && keys[i] == key {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		hashes[n], keys[n] = h, key
+		n++
+		states[w] = s
+		w++
+	}
+	return states[:w], true
+}
+
+// foldKey hashes a canonical state key to 64 bits: 8-byte little-endian
+// chunks (plus a length-padded tail) mixed through splitmix64-style rounds,
+// seeded by the key length so prefixes of one another do not collide
+// trivially.
+func foldKey(key string) uint64 {
+	h := uint64(len(key)) ^ 0x9e3779b97f4a7c15
+	i := 0
+	for ; i+8 <= len(key); i += 8 {
+		var w uint64
+		for b := 0; b < 8; b++ {
+			w |= uint64(key[i+b]) << (8 * b)
+		}
+		h = foldMix(h ^ w)
+	}
+	if i < len(key) {
+		var w uint64
+		for b := 0; i+b < len(key); b++ {
+			w |= uint64(key[i+b]) << (8 * b)
+		}
+		h = foldMix(h ^ w)
+	}
+	return h
+}
+
+// foldMix is one splitmix64 finalization round.
+func foldMix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // dedupByKey removes duplicates by canonical state key in O(n). It reports

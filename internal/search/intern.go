@@ -21,6 +21,11 @@ type interner struct {
 	// 0 means unlimited. At the cap, id rejects new keys instead of growing,
 	// and the search degrades to unkeyed (memo-less) mode.
 	limit int
+	// seq marks a check-local interner used by a single-worker search:
+	// exactly one goroutine touches the table, so every method skips the
+	// lock. Never set on a session's shared interner — sessions admit
+	// concurrent checks.
+	seq bool
 }
 
 func newInterner() *interner { return newInternerLimited(0) }
@@ -35,6 +40,12 @@ func newInternerLimited(limit int) *interner {
 // write path only — the read-lock fast path taken for every recurring state
 // is unchanged.
 func (in *interner) id(key string) (uint32, bool) {
+	if in.seq {
+		if id, ok := in.ids[key]; ok {
+			return id, true
+		}
+		return in.assign(key)
+	}
 	in.mu.RLock()
 	id, ok := in.ids[key]
 	in.mu.RUnlock()
@@ -46,10 +57,16 @@ func (in *interner) id(key string) (uint32, bool) {
 	if id, ok := in.ids[key]; ok {
 		return id, true
 	}
+	return in.assign(key)
+}
+
+// assign inserts a new key under the budget check. The caller must hold the
+// write lock (or own the table exclusively, seq mode).
+func (in *interner) assign(key string) (uint32, bool) {
 	if in.limit > 0 && len(in.ids) >= in.limit {
 		return 0, false
 	}
-	id = uint32(len(in.ids))
+	id := uint32(len(in.ids))
 	in.ids[key] = id
 	return id, true
 }
@@ -58,6 +75,10 @@ func (in *interner) id(key string) (uint32, bool) {
 // guided searcher uses it as its novelty probe, so branch ordering never
 // grows the interner and never consumes its memory budget.
 func (in *interner) has(key string) bool {
+	if in.seq {
+		_, ok := in.ids[key]
+		return ok
+	}
 	in.mu.RLock()
 	_, ok := in.ids[key]
 	in.mu.RUnlock()
@@ -66,6 +87,9 @@ func (in *interner) has(key string) bool {
 
 // size returns the number of distinct keys interned so far.
 func (in *interner) size() int {
+	if in.seq {
+		return len(in.ids)
+	}
 	in.mu.RLock()
 	defer in.mu.RUnlock()
 	return len(in.ids)

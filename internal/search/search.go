@@ -46,7 +46,7 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
-	"slices"
+	"sort"
 	"sync"
 
 	"ralin/internal/core"
@@ -74,12 +74,13 @@ func Run(h *core.History, spec core.Spec, strong bool, opts core.CheckOptions) c
 	// Pin the session's cache generation for the whole check: budget eviction
 	// only runs between checks, so interned IDs stay stable while any worker
 	// references them.
-	intern := sess.beginCheck()
+	// Single assignment (no reassignment below): the parallel path's worker
+	// closures capture intern and memo, and a reassigned capture is taken by
+	// reference — which would heap-allocate both variables on every check,
+	// sequential path included.
+	intern := ensureInterner(sess.beginCheck())
 	defer sess.endCheck()
-	if intern == nil {
-		intern = newInterner()
-	}
-	pre, planReused := sess.getPlan()
+	pre, planReused := sess.getPlan(h.Len())
 	defer sess.putPlan(pre)
 	if err := pre.build(h, strong); err != nil {
 		return core.EngineOutcome{Complete: true, LastErr: err}
@@ -94,8 +95,20 @@ func Run(h *core.History, spec core.Spec, strong bool, opts core.CheckOptions) c
 		guideTab = sess.guideScores()
 		pre.buildGuide(guideTab, strong)
 	}
-	sh := newShared(nodeBudget(opts))
+	// The shared coordination block is pooled per session like the plans and
+	// searchers — but only when no context watcher goroutine can outlive the
+	// check and touch it after release (poolable below).
+	sh := sess.getShared(nodeBudget(opts))
 	sh.sess = sess
+	// The transition cache only serves re-checks (its keys are label
+	// pointers, so a first-contact history could only fill it with copies
+	// nothing will ever hit); attach it only when the session has seen this
+	// history before. One-shot histories then skip the cache's per-transition
+	// lock probes entirely.
+	if sess.recheck(h) {
+		sh.steps = sess.stepCacheFor(spec)
+	}
+	poolable := opts.Context == nil || opts.Context.Done() == nil
 	if sess != nil {
 		if max := sess.budget.MaxMemoBytes; max > 0 {
 			sh.memoCount = &sess.memoEntries
@@ -105,11 +118,9 @@ func Run(h *core.History, spec core.Spec, strong bool, opts core.CheckOptions) c
 			}
 		}
 	}
-	var memo *memoTable
-	if !opts.DisableMemo {
-		memo = sess.getMemo()
-		memo.debug = opts.DebugMemo
-		defer sess.putMemo(memo)
+	memo := sessionMemo(sess, opts)
+	defer sess.putMemo(memo)
+	if memo != nil {
 		sh.shards = memoShardCount
 	}
 
@@ -122,6 +133,9 @@ func Run(h *core.History, spec core.Spec, strong bool, opts core.CheckOptions) c
 			sh.interrupt(inc)
 			out := sh.outcome(0)
 			out.PlanReused = planReused
+			// No watcher goroutine was started yet, so the block is safe to
+			// pool regardless of the context's shape.
+			sess.putShared(sh)
 			return out
 		}
 		if done := ctx.Done(); done != nil {
@@ -147,7 +161,19 @@ func Run(h *core.History, spec core.Spec, strong bool, opts core.CheckOptions) c
 		workers = n
 	}
 	if workers <= 1 {
-		s := newSearcher(sess.getSearcher(), pre, spec, strong, intern, memo, sh, nil, 0)
+		// Single worker: the compactor — and, sessionless, the check-local
+		// interner — is touched by exactly one goroutine, so both run in
+		// their lock-free sequential modes. A session's interner stays
+		// locked: sessions admit concurrent checks. (compactor.reset clears
+		// the flag when the block is pooled.)
+		sh.compact.seq = true
+		if sess == nil {
+			intern.seq = true
+		}
+		if memo != nil {
+			memo.seq = true
+		}
+		s := newSearcher(sess.getSearcher(len(pre.labels)), pre, spec, strong, intern, memo, sh, nil, 0)
 		s.guided = guided
 		if runGuarded(sh, func() { s.dfs() }) {
 			s.flush()
@@ -157,6 +183,9 @@ func Run(h *core.History, spec core.Spec, strong bool, opts core.CheckOptions) c
 		out.PlanReused = planReused
 		if guided && out.Complete {
 			guideTab.record(out.Witness)
+		}
+		if poolable {
+			sess.putShared(sh)
 		}
 		return out
 	}
@@ -173,7 +202,7 @@ func Run(h *core.History, spec core.Spec, strong bool, opts core.CheckOptions) c
 	for w := 0; w < workers; w++ {
 		go func(id int) {
 			defer wg.Done()
-			s := newSearcher(sess.getSearcher(), pre, spec, strong, intern, memo, sh, queue, id)
+			s := newSearcher(sess.getSearcher(len(pre.labels)), pre, spec, strong, intern, memo, sh, queue, id)
 			s.guided = guided
 			ok := runGuarded(sh, func() {
 				for {
@@ -212,7 +241,30 @@ func Run(h *core.History, spec core.Spec, strong bool, opts core.CheckOptions) c
 	if guided && out.Complete {
 		guideTab.record(out.Witness)
 	}
+	if poolable {
+		sess.putShared(sh)
+	}
 	return out
+}
+
+// ensureInterner returns in, or a fresh private interner when the check runs
+// sessionless (in nil).
+func ensureInterner(in *interner) *interner {
+	if in != nil {
+		return in
+	}
+	return newInterner()
+}
+
+// sessionMemo draws a cleared memo table from the session arena with the
+// check's debug flag applied, or nil when memoization is disabled.
+func sessionMemo(sess *Session, opts core.CheckOptions) *memoTable {
+	if opts.DisableMemo {
+		return nil
+	}
+	m := sess.getMemo()
+	m.debug = opts.DebugMemo
+	return m
 }
 
 // runGuarded runs f, converting a panic into a search interruption (reason
@@ -246,17 +298,18 @@ func nodeBudget(opts core.CheckOptions) int64 {
 }
 
 // prepared is the immutable, index-based view of the history shared by all
-// workers of one check: the history's "plan". Plans are pooled per session
-// (Session.getPlan/putPlan): build clears-not-reallocates every index slice,
-// so after the first few checks of a batch a plan rebuild allocates nothing
-// but the sort closure — the same arena discipline the session's memo tables
-// use.
+// workers of one check: the history's "plan". Plans are pooled per session in
+// size classes (Session.getPlan/putPlan): build clears-not-reallocates every
+// index slice, so after the first few checks of a batch a plan rebuild
+// allocates nothing at all — the same arena discipline the session's memo
+// tables use.
 type prepared struct {
 	labels []*core.Label
 	// preds[i] / succs[i] are the (transitive) visibility predecessors and
-	// successors of labels[i], as indices. Entries arrive in rank order
-	// (History.VisEdges iterates the reachability bitsets deterministically);
-	// the search only ever counts and iterates them.
+	// successors of labels[i], as indices. Label index equals history rank
+	// (AppendLabels yields insertion order), so both lists are filled by one
+	// History.PredRow/SuccRow bitset sweep per label, entries in ascending
+	// rank order; the search only ever counts and iterates them.
 	preds [][]int
 	succs [][]int
 	// affected[i] lists, for an update labels[i], the indices of the queries
@@ -268,45 +321,65 @@ type prepared struct {
 	// are tried in this order so the search reaches execution-order-like
 	// witnesses first (and it is the deterministic tie-break of guided mode).
 	order []int
+	// pos is order's inverse permutation: pos[i] is label i's position in
+	// order, and therefore its bit in the searcher's frontier bitset.
+	pos []int
 	// guide[i] is the static component of label i's guided branch score
 	// (pending-query justification count and session success score), filled by
 	// buildGuide only for guided checks; the searcher ORs in the per-node
 	// novelty bit. Pooled like every other slice here.
 	guide []int64
-	// idx maps label identifiers to indices while building; reused across
-	// checks like every other slice here.
-	idx map[uint64]int
+	// sorter is the reusable sort.Interface state of build's order sort; a
+	// struct field (rather than a slices.SortFunc closure) so a pooled plan's
+	// rebuild does not allocate the comparator.
+	sorter orderSorter
+}
+
+// orderSorter sorts a label-index permutation by generator sequence, then
+// label ID. Both tie-breaks are total (IDs are unique within a history), so
+// the result is a unique permutation even under an unstable sort.
+type orderSorter struct {
+	order  []int
+	labels []*core.Label
+}
+
+func (o *orderSorter) Len() int      { return len(o.order) }
+func (o *orderSorter) Swap(i, j int) { o.order[i], o.order[j] = o.order[j], o.order[i] }
+func (o *orderSorter) Less(i, j int) bool {
+	la, lb := o.labels[o.order[i]], o.labels[o.order[j]]
+	if la.GenSeq != lb.GenSeq {
+		return la.GenSeq < lb.GenSeq
+	}
+	return la.ID < lb.ID
 }
 
 // build populates the plan for h, reusing the backing arrays of whatever
-// check used this plan before. The visibility indexes are filled from the
-// relation's closure edge set (core.History.VisEdges, one bitset sweep over
-// the reachability index) instead of per-label VisibleTo/SeenBy scans, which
-// allocate two fresh slices per label and probe all n² ordered pairs.
+// check used this plan before. The visibility indexes are filled by one
+// predecessor-row and one successor-row bitset sweep per label
+// (core.History.PredRow/SuccRow) — label index equals rank, so no
+// ID-to-index map is needed at all, where the previous closure-edge pass
+// keyed every edge endpoint through one.
 func (p *prepared) build(h *core.History, strong bool) error {
 	p.labels = h.AppendLabels(p.labels[:0])
 	labels := p.labels
 	n := len(labels)
-	if p.idx == nil {
-		p.idx = make(map[uint64]int, n)
-	} else {
-		clear(p.idx)
-	}
-	for i, l := range labels {
+	for _, l := range labels {
 		if !strong && l.IsQueryUpdate() {
 			return fmt.Errorf("label %v is a query-update; apply a rewriting first", l)
 		}
-		p.idx[l.ID] = i
 	}
 	p.preds = resizeIndexSets(p.preds, n)
 	p.succs = resizeIndexSets(p.succs, n)
 	p.affected = resizeIndexSets(p.affected, n)
 	p.queries = p.queries[:0]
-	h.VisEdges(func(from, to uint64) {
-		fi, ti := p.idx[from], p.idx[to]
-		p.preds[ti] = append(p.preds[ti], fi)
-		p.succs[fi] = append(p.succs[fi], ti)
-	})
+	for i := 0; i < n; i++ {
+		h.PredRow(i, func(f int) {
+			p.preds[i] = append(p.preds[i], f)
+		})
+		h.SuccRow(i, func(t int) {
+			p.succs[i] = append(p.succs[i], t)
+		})
+	}
 	if !strong {
 		for i, l := range labels {
 			if l.IsQuery() {
@@ -323,22 +396,13 @@ func (p *prepared) build(h *core.History, strong bool) error {
 	for i := range p.order {
 		p.order[i] = i
 	}
-	slices.SortFunc(p.order, func(x, y int) int {
-		la, lb := labels[x], labels[y]
-		if la.GenSeq != lb.GenSeq {
-			if la.GenSeq < lb.GenSeq {
-				return -1
-			}
-			return 1
-		}
-		if la.ID < lb.ID {
-			return -1
-		}
-		if la.ID > lb.ID {
-			return 1
-		}
-		return 0
-	})
+	p.sorter.order, p.sorter.labels = p.order, labels
+	sort.Sort(&p.sorter)
+	p.sorter.order, p.sorter.labels = nil, nil
+	p.pos = resizeInts(p.pos, n)
+	for pi, i := range p.order {
+		p.pos[i] = pi
+	}
 	return nil
 }
 

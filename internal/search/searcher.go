@@ -2,6 +2,7 @@ package search
 
 import (
 	"fmt"
+	"math/bits"
 
 	"ralin/internal/core"
 )
@@ -27,6 +28,13 @@ const (
 // prefix trivial; deeper nodes use the scratch-free fast path.
 const maxDonateDepth = 4
 
+// witnessChunkLabels is the allocation unit of the witness arena: witness
+// slices are carved out of chunks this large, so a session re-checking
+// histories amortizes the per-witness slice allocation to ~0 (one chunk per
+// ~chunk/len witnesses). Carved regions are never recycled — the caller owns
+// its witness — so a handed-out witness keeps at most one chunk alive.
+const witnessChunkLabels = 512
+
 // pruneReason records why a prefix was rejected, kept cheap so the hot path
 // does no formatting; searcher.flush renders the last one per worker.
 type pruneReason struct {
@@ -48,14 +56,18 @@ func (r pruneReason) err() error {
 	return fmt.Errorf("condition (%s): prefix rejected at %v", r.cond, r.label)
 }
 
-// setBuf is one reusable state-set buffer: the abstract states and, while the
-// specification is keyable, the parallel slice of their interned IDs kept
-// sorted ascending. The sorted ID order is the set's canonical form — memo
-// hashing walks it without re-sorting — and makes ID-based deduplication a
-// short ordered-insert scan.
+// setBuf is one reusable state-set buffer. While the specification is keyable
+// it carries three parallel views of the set: the abstract states in arrival
+// order, their session-interner IDs (the step-cache keys), and a bitset over
+// check-local compact IDs (shared.compact) — the set's canonical form.
+// Membership is a single word test on the bitset, and memo hashing folds the
+// words directly instead of walking IDs one at a time. The bitset is kept in
+// canonical trimmed form (its last word is always nonzero), so two buffers
+// hold equal sets exactly when their word slices are equal.
 type setBuf struct {
 	states []core.AbsState
 	ids    []uint32
+	words  []uint64
 }
 
 // searcher is the per-worker mutable search state.
@@ -68,41 +80,72 @@ type searcher struct {
 	memo   *memoTable
 	queue  *workQueue
 	worker int
+	// compact assigns dense check-local IDs to session-interner IDs; shared by
+	// every worker of the check (points into sh).
+	compact *compactor
+	// steps is the session's per-spec transition cache, nil when the check
+	// runs sessionless or the spec is not cacheable. On a warm session the
+	// stepAll fast path replays cached (state, label) transitions without
+	// re-entering the spec (no StateKey rendering, no interner probe).
+	steps *stepCache
 
 	// stepper is spec's allocation-free fast path, nil for foreign specs
 	// (stepAll then falls back to Step).
 	stepper core.StepAppender
 	// stepScratch is the reusable buffer StepAppend fills per transition.
 	stepScratch []core.AbsState
+	// fillIDs is the scratch slice of successor IDs fillStep interns before a
+	// transition is stored in the step cache.
+	fillIDs []uint32
 
 	// indegree[i] counts the not-yet-placed visibility predecessors of
-	// labels[i]; a label is in the frontier when its count is zero.
+	// labels[i]; a label is in the frontier when its count is zero and it is
+	// not placed.
 	indegree []int
 	placed   bitset
+	// frontier is the candidate set as a bitset over order positions
+	// (pre.pos[i] is label i's bit): bit p is set exactly when the label at
+	// order position p has indegree zero and is not placed. Candidate
+	// enumeration walks the set bits word by word — ascending position is
+	// ascending rank order, the historical candidate order — instead of
+	// scanning all of pre.order and testing indegree/placed per label.
+	// enter/leave maintain it with single word operations.
+	frontier bitset
 	seq      []int
 	// main is the set of abstract states reachable after the placed updates
-	// (RA mode) or the placed prefix (strong mode); mainIDs are its interned
-	// IDs, sorted, or nil once keying is off.
-	main    []core.AbsState
-	mainIDs []uint32
-	// qstates[q] / qids[q] are, for each unplaced query index q, the state
-	// set of its justification so far (RA mode only); non-query indices stay
-	// nil.
+	// (RA mode) or the placed prefix (strong mode); mainIDs/mainWords are its
+	// interner-ID and compact-bitset views, nil once keying is off.
+	main      []core.AbsState
+	mainIDs   []uint32
+	mainWords []uint64
+	// qstates[q] / qids[q] / qwords[q] are, for each unplaced query index q,
+	// the three views of its justification set so far (RA mode only);
+	// non-query indices stay nil.
 	qstates [][]core.AbsState
 	qids    [][]uint32
+	qwords  [][]uint64
 	// keyable caches whether every state seen by this worker interned; it
 	// flips off (together with the shared flag that disables memoization for
 	// everyone) at the first state without a canonical key.
 	keyable bool
-	// initStates/initIDs back the bottom-of-stack main set ({ϕ0}); they are
-	// owned by the searcher (never pooled by putBuf) and reused across the
-	// checks of a session.
+	// initStates/initIDs/initWords back the bottom-of-stack main set ({ϕ0});
+	// they are owned by the searcher (never pooled by putBuf) and reused
+	// across the checks of a session.
 	initStates []core.AbsState
 	initIDs    []uint32
+	initWords  []uint64
 	// keyTuple is the debug-memo scratch: the exact word sequence the last
 	// memoKey hashed, stored by claim as the collision-check witness. Unused
 	// (and never grown) outside debug mode.
 	keyTuple []uint64
+	// legacyKey is the debug-memo transition witness: the pre-bitset memo key
+	// (hash over sorted interned-ID walks) of the last configuration, so
+	// claim can assert that the word-folded key and the legacy key induce the
+	// same equality on configurations. Unused outside debug mode.
+	legacyKey key128
+	// dbgIDs is the sort scratch legacyMemoKey uses to re-derive the sorted
+	// ID walks the legacy key hashed; debug mode only.
+	dbgIDs []uint32
 
 	frames []frame
 	// pool recycles state-set buffers released by leave; after warm-up the
@@ -113,6 +156,11 @@ type searcher struct {
 	stepped []setBuf
 	// cands[d] is the frontier scratch of donation-eligible depth d.
 	cands [maxDonateDepth][]int
+
+	// witMem is the witness arena: the current chunk witness() carves
+	// complete linearizations from. Carved regions are caller-owned and never
+	// recycled; the chunk advances and a new one is allocated only when full.
+	witMem []*core.Label
 
 	// guided enables heuristic branch ordering (core.GuidanceGuided): enabled
 	// queries are committed to immediately (RA mode), remaining candidates are
@@ -156,25 +204,35 @@ func newSearcher(recycled *searcher, pre *prepared, spec core.Spec, strong bool,
 	s.memo = memo
 	s.queue = queue
 	s.worker = worker
+	s.compact = &sh.compact
+	s.steps = sh.steps
 	s.indegree = resizeInts(s.indegree, n)
+	s.placed = resizeBitset(s.placed, n)
+	s.frontier = resizeBitset(s.frontier, n)
 	for i := range s.indegree {
 		s.indegree[i] = len(pre.preds[i])
+		if s.indegree[i] == 0 {
+			s.frontier.set(pre.pos[i])
+		}
 	}
-	s.placed = resizeBitset(s.placed, n)
 	s.seq = s.seq[:0]
 	s.keyable = !sh.unkeyable.Load()
 	s.reason = pruneReason{}
 	s.nodes, s.leaves, s.pruned, s.memoHit, s.steals, s.donated = 0, 0, 0, 0, 0, 0
-	init := spec.Init()
+	init, initID, initOK := s.cachedInit()
 	s.initStates = append(s.initStates[:0], init)
 	s.main = s.initStates
-	s.mainIDs = nil
-	if id, ok := s.internState(init); ok {
-		s.initIDs = append(s.initIDs[:0], id)
+	s.mainIDs, s.mainWords = nil, nil
+	if initOK {
+		s.initIDs = append(s.initIDs[:0], initID)
 		s.mainIDs = s.initIDs
+		cid := s.compact.compact(initID)
+		s.initWords = appendBit(s.initWords[:0], cid)
+		s.mainWords = s.initWords
 	}
 	s.qstates = resizeStateSets(s.qstates, n)
 	s.qids = resizeIDSets(s.qids, n)
+	s.qwords = resizeWordSets(s.qwords, n)
 	if !strong {
 		for _, q := range pre.queries {
 			// All pending justifications start at the initial state; the
@@ -182,15 +240,55 @@ func newSearcher(recycled *searcher, pre *prepared, spec core.Spec, strong bool,
 			// and only enter-created buffers are ever recycled.
 			s.qstates[q] = s.main
 			s.qids[q] = s.mainIDs
+			s.qwords[q] = s.mainWords
 		}
 	}
 	return s
 }
 
+// cachedInit returns the specification's initial state and its interned ID.
+// With a session step cache the pair is served from the cache after the first
+// check, skipping both spec.Init's fresh state and the StateKey rendering the
+// interner probe needs — the last per-check allocations of a warm re-check.
+// Interning failures (unkeyable spec, interner at budget) are never cached.
+func (s *searcher) cachedInit() (core.AbsState, uint32, bool) {
+	if c := s.steps; c != nil {
+		c.mu.RLock()
+		init, id := c.initState, c.initID
+		c.mu.RUnlock()
+		if init != nil {
+			return init, id, true
+		}
+	}
+	init := s.spec.Init()
+	id, ok := s.internState(init)
+	if ok && s.steps != nil {
+		c := s.steps
+		c.mu.Lock()
+		if c.initState == nil {
+			c.initState, c.initID = init, id
+		}
+		c.mu.Unlock()
+	}
+	return init, id, ok
+}
+
+// appendBit extends words so bit id is set, growing to exactly the word that
+// holds it — which keeps the slice in canonical trimmed form (last word
+// nonzero) when building a fresh single-bit set.
+func appendBit(words []uint64, id uint32) []uint64 {
+	w, m := int(id>>6), uint64(1)<<(id&63)
+	for len(words) < w {
+		words = append(words, 0)
+	}
+	return append(words, m)
+}
+
 // release unwinds the searcher and drops every reference into the finished
 // check (history, specification, shared state, live state sets) so a pooled
 // searcher pins nothing; the backing arrays, undo frames and buffer pool stay
-// for the next check.
+// for the next check. The witness arena chunk is kept: its carved prefix is
+// caller-owned and its free tail is clean.
 func (s *searcher) release() {
 	s.reset()
 	s.reason = pruneReason{} // flush already rendered it; drop its labels
@@ -202,16 +300,19 @@ func (s *searcher) release() {
 	s.intern = nil
 	s.memo = nil
 	s.queue = nil
+	s.compact = nil
+	s.steps = nil
 	clear(s.stepScratch[:cap(s.stepScratch)])
 	s.stepScratch = s.stepScratch[:0]
 	clear(s.initStates[:cap(s.initStates)])
 	s.initStates = s.initStates[:0]
-	s.main, s.mainIDs = nil, nil
+	s.main, s.mainIDs, s.mainWords = nil, nil, nil
 	clear(s.qstates[:cap(s.qstates)])
 	clear(s.qids[:cap(s.qids)])
+	clear(s.qwords[:cap(s.qwords)])
 	frames := s.frames[:cap(s.frames)]
 	for i := range frames {
-		frames[i].main, frames[i].mainIDs = nil, nil
+		frames[i].main, frames[i].mainIDs, frames[i].mainWords = nil, nil, nil
 		saved := frames[i].saved[:cap(frames[i].saved)]
 		for k := range saved {
 			saved[k] = savedQuery{}
@@ -254,6 +355,15 @@ func resizeStateSets(s [][]core.AbsState, n int) [][]core.AbsState {
 func resizeIDSets(s [][]uint32, n int) [][]uint32 {
 	if cap(s) < n {
 		return make([][]uint32, n)
+	}
+	clear(s[:cap(s)])
+	return s[:n]
+}
+
+// resizeWordSets is resizeStateSets for the parallel compact-bitset sets.
+func resizeWordSets(s [][]uint64, n int) [][]uint64 {
+	if cap(s) < n {
+		return make([][]uint64, n)
 	}
 	clear(s[:cap(s)])
 	return s[:n]
@@ -306,7 +416,10 @@ func (s *searcher) internState(phi core.AbsState) (uint32, bool) {
 }
 
 // flush merges the worker-local counters and prune reason into the shared
-// state; call once when the worker is done.
+// state; call once when the worker is done. The prune reason is only rendered
+// (one fmt.Errorf) when the search still needs one — a witness-producing
+// search never reads it, so the warm re-check path skips the formatting
+// allocation entirely.
 func (s *searcher) flush() {
 	s.sh.nodes.Add(s.nodes)
 	s.sh.leaves.Add(s.leaves)
@@ -314,8 +427,8 @@ func (s *searcher) flush() {
 	s.sh.memoHits.Add(s.memoHit)
 	s.sh.steals.Add(s.steals)
 	s.sh.donated.Add(s.donated)
-	if err := s.reason.err(); err != nil {
-		s.sh.setErr(err)
+	if s.reason.label != nil && s.sh.wantErr() {
+		s.sh.setErr(s.reason.err())
 	}
 }
 
@@ -336,7 +449,7 @@ func (s *searcher) dfs() status {
 		return sFound
 	}
 	if key, keyed := s.memoKey(); keyed {
-		if !s.memo.claim(key, s.keyTuple) {
+		if !s.memo.claim(key, s.keyTuple, s.legacyKey) {
 			// An equal configuration is being (or has been) explored by some
 			// worker; its subtree equals ours, so skip.
 			s.memoHit++
@@ -370,12 +483,20 @@ func (s *searcher) dfs() status {
 	if s.guided {
 		return s.exploreGuided(len(s.seq))
 	}
-	for _, i := range s.pre.order {
-		if s.indegree[i] != 0 || s.placed.get(i) {
-			continue
-		}
-		if st := s.explore(i); st != sExhausted {
-			return st
+	// Rank-order deep nodes: walk the frontier bitset directly. Each word is
+	// copied once; explore restores the searcher (frontier included) to its
+	// node-entry state before returning, so the remaining bits of the copy
+	// stay the not-yet-tried candidates. Ascending bit position is ascending
+	// order position — exactly the historical pre.order scan, without the
+	// O(n) indegree/placed probing per node.
+	for w, word := range s.frontier {
+		base := w << 6
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << b
+			if st := s.explore(s.pre.order[base|b]); st != sExhausted {
+				return st
+			}
 		}
 	}
 	return sExhausted
@@ -383,14 +504,28 @@ func (s *searcher) dfs() status {
 
 // enabledQuery returns the first frontier query in ascending query order, or
 // -1 when no query is enabled (RA mode only; strong-mode plans have no query
-// index).
+// index). Frontier membership is one bit probe per query.
 func (s *searcher) enabledQuery() int {
 	for _, q := range s.pre.queries {
-		if s.indegree[q] == 0 && !s.placed.get(q) {
+		if s.frontier.get(s.pre.pos[q]) {
 			return q
 		}
 	}
 	return -1
+}
+
+// collectFrontier appends the frontier's label indices, in ascending order
+// position (= candidate rank order), to cands.
+func (s *searcher) collectFrontier(cands []int) []int {
+	for w, word := range s.frontier {
+		base := w << 6
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << b
+			cands = append(cands, s.pre.order[base|b])
+		}
+	}
+	return cands
 }
 
 // exploreGuided is the guided deep-node candidate loop: collect the frontier
@@ -401,12 +536,7 @@ func (s *searcher) exploreGuided(depth int) status {
 	for len(s.ord) <= depth {
 		s.ord = append(s.ord, nil)
 	}
-	cands := s.ord[depth][:0]
-	for _, i := range s.pre.order {
-		if s.indegree[i] == 0 && !s.placed.get(i) {
-			cands = append(cands, i)
-		}
-	}
+	cands := s.collectFrontier(s.ord[depth][:0])
 	s.orderCands(cands)
 	s.ord[depth] = cands
 	for _, i := range cands {
@@ -449,16 +579,25 @@ func (s *searcher) orderCands(cands []int) {
 // novel reports whether placing label i reaches at least one spec state whose
 // canonical key the interner has not seen. The probe is read-only (interner
 // peek, no insertion), so ordering neither grows the interner nor consumes
-// its budget; queries never advance the main set and are never novel. Once
-// keying is off the signal degrades to false for everyone — ordering then
-// rests on the static scores alone.
+// its budget; queries never advance the main set and are never novel. A
+// source state whose transition is in the session step cache is skipped: its
+// successors were interned when the entry was filled, so none can be novel —
+// the same answer the StepAppend probe would compute. Once keying is off the
+// signal degrades to false for everyone — ordering then rests on the static
+// scores alone.
 func (s *searcher) novel(i int) bool {
 	l := s.pre.labels[i]
 	if !s.keyable || l.IsQuery() {
 		return false
 	}
+	cached := s.steps != nil && len(s.mainIDs) == len(s.main)
 	if s.stepper != nil {
-		for _, phi := range s.main {
+		for si, phi := range s.main {
+			if cached {
+				if _, ok := s.steps.get(s.mainIDs[si], l); ok {
+					continue
+				}
+			}
 			sc := s.stepper.StepAppend(s.stepScratch[:0], phi, l)
 			s.stepScratch = sc
 			if s.anyNovel(sc) {
@@ -467,7 +606,12 @@ func (s *searcher) novel(i int) bool {
 		}
 		return false
 	}
-	for _, phi := range s.main {
+	for si, phi := range s.main {
+		if cached {
+			if _, ok := s.steps.get(s.mainIDs[si], l); ok {
+				continue
+			}
+		}
 		if s.anyNovel(s.spec.Step(phi, l)) {
 			return true
 		}
@@ -500,12 +644,7 @@ func (s *searcher) anyNovel(states []core.AbsState) bool {
 // rest to the queue before descending — so idle workers are fed immediately
 // instead of after this worker finishes its first subtree.
 func (s *searcher) exploreSplit(depth int) status {
-	cands := s.cands[depth][:0]
-	for _, i := range s.pre.order {
-		if s.indegree[i] == 0 && !s.placed.get(i) {
-			cands = append(cands, i)
-		}
-	}
+	cands := s.collectFrontier(s.cands[depth][:0])
 	if s.guided {
 		// Guided ordering applies before the split, so the branch this worker
 		// keeps for itself is the best-scored one and donations drain in score
@@ -553,7 +692,7 @@ func (s *searcher) donate(i int) {
 func (s *searcher) enter(i int) bool {
 	l := s.pre.labels[i]
 	if s.strong {
-		next := s.stepAll(s.main, l)
+		next := s.stepAll(s.main, s.mainIDs, l)
 		if len(next.states) == 0 {
 			s.putBuf(next)
 			s.pruned++
@@ -561,18 +700,18 @@ func (s *searcher) enter(i int) bool {
 			return false
 		}
 		fr := s.pushFrame()
-		fr.main, fr.mainIDs = s.main, s.mainIDs
+		fr.main, fr.mainIDs, fr.mainWords = s.main, s.mainIDs, s.mainWords
 		if !l.IsQuery() {
 			// Updates (and query-updates, which strong mode treats as
 			// updates) advance the prefix state; queries only have to be
 			// admitted at it.
 			fr.advanced = true
-			s.main, s.mainIDs = next.states, next.ids
+			s.main, s.mainIDs, s.mainWords = next.states, next.ids, next.words
 		} else {
 			s.putBuf(next)
 		}
 	} else if l.IsUpdate() {
-		next := s.stepAll(s.main, l)
+		next := s.stepAll(s.main, s.mainIDs, l)
 		if len(next.states) == 0 {
 			s.putBuf(next)
 			s.pruned++
@@ -588,7 +727,7 @@ func (s *searcher) enter(i int) bool {
 			if s.placed.get(q) {
 				continue
 			}
-			nq := s.stepAll(s.qstates[q], l)
+			nq := s.stepAll(s.qstates[q], s.qids[q], l)
 			if len(nq.states) == 0 {
 				s.putBuf(nq)
 				for _, b := range s.stepped {
@@ -603,24 +742,24 @@ func (s *searcher) enter(i int) bool {
 			s.stepped = append(s.stepped, nq)
 		}
 		fr := s.pushFrame()
-		fr.main, fr.mainIDs = s.main, s.mainIDs
+		fr.main, fr.mainIDs, fr.mainWords = s.main, s.mainIDs, s.mainWords
 		fr.advanced = true
 		k := 0
 		for _, q := range s.pre.affected[i] {
 			if s.placed.get(q) {
 				continue
 			}
-			fr.saved = append(fr.saved, savedQuery{q: q, states: s.qstates[q], ids: s.qids[q]})
-			s.qstates[q], s.qids[q] = s.stepped[k].states, s.stepped[k].ids
+			fr.saved = append(fr.saved, savedQuery{q: q, states: s.qstates[q], ids: s.qids[q], words: s.qwords[q]})
+			s.qstates[q], s.qids[q], s.qwords[q] = s.stepped[k].states, s.stepped[k].ids, s.stepped[k].words
 			k++
 		}
 		s.stepped = s.stepped[:0]
-		s.main, s.mainIDs = next.states, next.ids
+		s.main, s.mainIDs, s.mainWords = next.states, next.ids, next.words
 	} else {
 		// Queries: the justification (visible updates in placed order,
 		// then the query) must be admitted. All visible updates are
 		// necessarily placed already, so qstates[i] is final.
-		res := s.stepAll(s.qstates[i], l)
+		res := s.stepAll(s.qstates[i], s.qids[i], l)
 		admitted := len(res.states) > 0
 		s.putBuf(res)
 		if !admitted {
@@ -629,12 +768,16 @@ func (s *searcher) enter(i int) bool {
 			return false
 		}
 		fr := s.pushFrame()
-		fr.main, fr.mainIDs = s.main, s.mainIDs
+		fr.main, fr.mainIDs, fr.mainWords = s.main, s.mainIDs, s.mainWords
 	}
 	s.placed.set(i)
+	s.frontier.clear(s.pre.pos[i])
 	s.seq = append(s.seq, i)
 	for _, j := range s.pre.succs[i] {
 		s.indegree[j]--
+		if s.indegree[j] == 0 {
+			s.frontier.set(s.pre.pos[j])
+		}
 	}
 	return true
 }
@@ -643,20 +786,24 @@ func (s *searcher) enter(i int) bool {
 // created.
 func (s *searcher) leave(i int) {
 	for _, j := range s.pre.succs[i] {
+		if s.indegree[j] == 0 {
+			s.frontier.clear(s.pre.pos[j])
+		}
 		s.indegree[j]++
 	}
 	s.seq = s.seq[:len(s.seq)-1]
 	s.placed.clear(i)
+	s.frontier.set(s.pre.pos[i])
 	fr := &s.frames[len(s.frames)-1]
 	for k := len(fr.saved) - 1; k >= 0; k-- {
 		sv := fr.saved[k]
-		s.putBuf(setBuf{states: s.qstates[sv.q], ids: s.qids[sv.q]})
-		s.qstates[sv.q], s.qids[sv.q] = sv.states, sv.ids
+		s.putBuf(setBuf{states: s.qstates[sv.q], ids: s.qids[sv.q], words: s.qwords[sv.q]})
+		s.qstates[sv.q], s.qids[sv.q], s.qwords[sv.q] = sv.states, sv.ids, sv.words
 	}
 	if fr.advanced {
-		s.putBuf(setBuf{states: s.main, ids: s.mainIDs})
+		s.putBuf(setBuf{states: s.main, ids: s.mainIDs, words: s.mainWords})
 	}
-	s.main, s.mainIDs = fr.main, fr.mainIDs
+	s.main, s.mainIDs, s.mainWords = fr.main, fr.mainIDs, fr.mainWords
 	s.frames = s.frames[:len(s.frames)-1]
 }
 
@@ -666,16 +813,18 @@ func (s *searcher) leave(i int) {
 // advanced records whether enter replaced the main set (and leave must
 // recycle the replacement).
 type frame struct {
-	main     []core.AbsState
-	mainIDs  []uint32
-	advanced bool
-	saved    []savedQuery
+	main      []core.AbsState
+	mainIDs   []uint32
+	mainWords []uint64
+	advanced  bool
+	saved     []savedQuery
 }
 
 type savedQuery struct {
 	q      int
 	states []core.AbsState
 	ids    []uint32
+	words  []uint64
 }
 
 // pushFrame returns the next frame slot, reusing the backing array (and each
@@ -688,7 +837,7 @@ func (s *searcher) pushFrame() *frame {
 		s.frames = s.frames[:len(s.frames)+1]
 	}
 	fr := &s.frames[len(s.frames)-1]
-	fr.main, fr.mainIDs = nil, nil
+	fr.main, fr.mainIDs, fr.mainWords = nil, nil, nil
 	fr.advanced = false
 	fr.saved = fr.saved[:0]
 	return fr
@@ -710,64 +859,113 @@ func (s *searcher) putBuf(b setBuf) {
 	for i := range b.states {
 		b.states[i] = nil
 	}
-	s.pool = append(s.pool, setBuf{states: b.states[:0], ids: b.ids[:0]})
+	s.pool = append(s.pool, setBuf{states: b.states[:0], ids: b.ids[:0], words: b.words[:0]})
 }
 
 // stepAll applies label l to every state of the set and returns the deduped
-// successor set in a pooled buffer. Specs implementing core.StepAppender are
-// stepped through the allocation-free fast path into a reused scratch buffer;
-// foreign specs fall back to Step's fresh slice per transition. While the
-// specification is keyable, deduplication is by interned ID with the IDs kept
-// sorted (the canonical order memo hashing relies on); otherwise it falls
-// back to pairwise EqualAbs.
-func (s *searcher) stepAll(states []core.AbsState, l *core.Label) setBuf {
+// successor set in a pooled buffer; ids is the set's parallel interner-ID
+// view (nil or shorter once keying is off, which routes around the cache).
+// With a session step cache each (source state, label) transition is replayed
+// from the cache when present — no spec call, no StateKey rendering, no
+// interner probe — and computed-and-cached otherwise. Without a cache, specs
+// implementing core.StepAppender are stepped through the allocation-free fast
+// path into a reused scratch buffer; foreign specs fall back to Step's fresh
+// slice per transition. While the specification is keyable, deduplication is
+// a single bit test on the compact-ID bitset; otherwise it falls back to
+// pairwise EqualAbs.
+func (s *searcher) stepAll(states []core.AbsState, ids []uint32, l *core.Label) setBuf {
 	buf := s.getBuf()
+	if s.steps != nil && s.keyable && len(ids) == len(states) {
+		for si := 0; si < len(states); si++ {
+			e, hit := s.steps.get(ids[si], l)
+			if !hit {
+				if !s.fillStep(states[si], ids[si], l, &buf) {
+					// Keying flipped off mid-transition: the buffer already
+					// fell back to EqualAbs dedup; route the remaining source
+					// states through the uncached path.
+					s.stepUncached(&buf, states[si+1:], l)
+					return buf
+				}
+				continue
+			}
+			for k := range e.states {
+				s.insertKnown(&buf, e.states[k], e.ids[k])
+			}
+		}
+		return buf
+	}
+	s.stepUncached(&buf, states, l)
+	return buf
+}
+
+// fillStep computes the successors of one (state, label) transition, inserts
+// them into buf, and — when every successor interned — stores the raw
+// transition (successors in emission order, duplicates included, so a cache
+// replay inserts the exact sequence the live path would) in the session step
+// cache. It returns false when keying flipped off mid-transition.
+func (s *searcher) fillStep(phi core.AbsState, id uint32, l *core.Label, buf *setBuf) bool {
+	var raw []core.AbsState
+	if s.stepper != nil {
+		raw = s.stepper.StepAppend(s.stepScratch[:0], phi, l)
+		s.stepScratch = raw
+	} else {
+		raw = s.spec.Step(phi, l)
+	}
+	s.fillIDs = s.fillIDs[:0]
+	for _, nxt := range raw {
+		nid, ok := s.internState(nxt)
+		if !ok {
+			// The buffer's keyed views are meaningless now; drop them and
+			// re-insert everything via the EqualAbs fallback (the states
+			// inserted so far were deduped consistently).
+			buf.ids = buf.ids[:0]
+			buf.words = buf.words[:0]
+			for _, r := range raw {
+				s.insert(buf, r)
+			}
+			return false
+		}
+		s.fillIDs = append(s.fillIDs, nid)
+	}
+	for k := range raw {
+		s.insertKnown(buf, raw[k], s.fillIDs[k])
+	}
+	s.steps.put(id, l, raw, s.fillIDs)
+	return true
+}
+
+// stepUncached is the cache-less transition loop of stepAll.
+func (s *searcher) stepUncached(buf *setBuf, states []core.AbsState, l *core.Label) {
 	if s.stepper != nil {
 		for _, phi := range states {
 			sc := s.stepper.StepAppend(s.stepScratch[:0], phi, l)
 			s.stepScratch = sc
 			for _, nxt := range sc {
-				s.insert(&buf, nxt)
+				s.insert(buf, nxt)
 			}
 		}
-		return buf
+		return
 	}
 	for _, phi := range states {
 		for _, nxt := range s.spec.Step(phi, l) {
-			s.insert(&buf, nxt)
+			s.insert(buf, nxt)
 		}
 	}
-	return buf
 }
 
-// insert adds one successor state to the buffer, deduplicating by interned ID
-// (ordered insert into the sorted ID slice) or, once keying is off, by
-// EqualAbs scan.
+// insert adds one successor state to the buffer, deduplicating by compact-ID
+// bit test or, once keying is off, by EqualAbs scan.
 func (s *searcher) insert(buf *setBuf, phi core.AbsState) {
 	if s.keyable {
 		if id, ok := s.internState(phi); ok {
-			pos := len(buf.ids)
-			for k, existing := range buf.ids {
-				if existing == id {
-					return
-				}
-				if existing > id {
-					pos = k
-					break
-				}
-			}
-			buf.ids = append(buf.ids, 0)
-			copy(buf.ids[pos+1:], buf.ids[pos:])
-			buf.ids[pos] = id
-			buf.states = append(buf.states, nil)
-			copy(buf.states[pos+1:], buf.states[pos:])
-			buf.states[pos] = phi
+			s.insertKnown(buf, phi, id)
 			return
 		}
 		// Keying just flipped off: the states inserted so far were deduped
 		// consistently (equal IDs iff equal states); continue with EqualAbs
-		// and drop the now-meaningless ID slice.
+		// and drop the now-meaningless ID and word views.
 		buf.ids = buf.ids[:0]
+		buf.words = buf.words[:0]
 	}
 	for _, t := range buf.states {
 		if t.EqualAbs(phi) {
@@ -777,9 +975,45 @@ func (s *searcher) insert(buf *setBuf, phi core.AbsState) {
 	buf.states = append(buf.states, phi)
 }
 
-// witness materializes the current (complete) prefix as a label sequence.
+// insertKnown adds one already-interned successor: the session ID is mapped
+// to its check-local compact ID and membership is a single word test on the
+// buffer's bitset. The bitset grows to exactly the word holding the new bit,
+// preserving the canonical trimmed form (last word nonzero).
+func (s *searcher) insertKnown(buf *setBuf, phi core.AbsState, id uint32) {
+	cid := s.compact.compact(id)
+	w, m := int(cid>>6), uint64(1)<<(cid&63)
+	if w < len(buf.words) {
+		if buf.words[w]&m != 0 {
+			return
+		}
+		buf.words[w] |= m
+	} else {
+		for len(buf.words) < w {
+			buf.words = append(buf.words, 0)
+		}
+		buf.words = append(buf.words, m)
+	}
+	buf.states = append(buf.states, phi)
+	buf.ids = append(buf.ids, id)
+}
+
+// witness materializes the current (complete) prefix as a label sequence,
+// carved from the witness arena: the slice is caller-owned (it becomes
+// Result.Linearization), the chunk it came from is never recycled, and a new
+// chunk is allocated only when the current one is full — so a warm session
+// amortizes the per-witness allocation to ~0.
 func (s *searcher) witness() []*core.Label {
-	out := make([]*core.Label, len(s.seq))
+	n := len(s.seq)
+	if s.witMem == nil || len(s.witMem)+n > cap(s.witMem) {
+		size := witnessChunkLabels
+		if n > size {
+			size = n
+		}
+		s.witMem = make([]*core.Label, 0, size)
+	}
+	off := len(s.witMem)
+	s.witMem = s.witMem[:off+n]
+	out := s.witMem[off : off+n : off+n]
 	for k, i := range s.seq {
 		out[k] = s.pre.labels[i]
 	}

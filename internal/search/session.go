@@ -1,6 +1,8 @@
 package search
 
 import (
+	"math/bits"
+	"reflect"
 	"sync"
 	"sync/atomic"
 
@@ -12,6 +14,93 @@ import (
 // an entry cap with it, so the budget check on the claim path stays a single
 // integer comparison instead of a size calculation.
 const memoEntryBytes = 64
+
+// poolClasses is the number of size classes the plan and searcher pools are
+// split into. Class c holds entries whose label capacity has bit length c
+// (i.e. capacities in [2^(c-1), 2^c)), so a batch mixing small and large
+// histories hands each check scratch within a factor of two of its size
+// instead of ping-ponging one pool between shapes.
+const poolClasses = 16
+
+// sizeClass maps a label count to its pool class.
+func sizeClass(n int) int {
+	if c := bits.Len(uint(n)); c < poolClasses {
+		return c
+	}
+	return poolClasses - 1
+}
+
+// stepCacheCap bounds the entries of one per-spec transition cache: a
+// runaway batch of ever-new histories stops filling the cache past the cap
+// (lookups continue; new transitions are just recomputed).
+const stepCacheCap = 1 << 18
+
+// stepKey identifies one cached transition: the source state's session-
+// interner ID and the label stepped over. The label is keyed by pointer —
+// re-checks of one history through a session see the same label pointers
+// (the session's rewrite cache returns the cached rewriting), which is
+// exactly the warm path the cache exists for; fresh histories miss and fill.
+type stepKey struct {
+	state uint32
+	label *core.Label
+}
+
+// stepEntry is one cached transition result: the successor states in raw
+// emission order with their interner IDs, duplicates included, so a cache
+// replay feeds the set-insert path the exact sequence the live spec call
+// would.
+type stepEntry struct {
+	states []core.AbsState
+	ids    []uint32
+}
+
+// stepCache memoizes a specification's transition function across the checks
+// of a session: (source-state ID, label) → interned successors. It also
+// caches the spec's initial state and its ID (searcher.cachedInit), the last
+// per-check allocation of a warm re-check. Entries are only stored when every
+// successor interned, so replaying an entry never needs a StateKey rendering
+// or an interner probe. Dropped whole on budget eviction — its IDs belong to
+// the evicted interner generation.
+type stepCache struct {
+	mu        sync.RWMutex
+	initState core.AbsState
+	initID    uint32
+	entries   map[stepKey]stepEntry
+}
+
+// get returns the cached transition for (id, l), if present.
+func (c *stepCache) get(id uint32, l *core.Label) (stepEntry, bool) {
+	k := stepKey{state: id, label: l}
+	c.mu.RLock()
+	e, ok := c.entries[k]
+	c.mu.RUnlock()
+	return e, ok
+}
+
+// put stores one transition result, copying both slices (callers pass
+// scratch). First writer wins; at the cap the cache stops growing.
+func (c *stepCache) put(id uint32, l *core.Label, states []core.AbsState, ids []uint32) {
+	k := stepKey{state: id, label: l}
+	c.mu.Lock()
+	if c.entries == nil {
+		c.entries = make(map[stepKey]stepEntry)
+	}
+	if _, dup := c.entries[k]; !dup && len(c.entries) < stepCacheCap {
+		c.entries[k] = stepEntry{
+			states: append([]core.AbsState(nil), states...),
+			ids:    append([]uint32(nil), ids...),
+		}
+	}
+	c.mu.Unlock()
+}
+
+// specStep pairs a specification with its transition cache; the session keeps
+// one per distinct (comparable) spec value, found by linear scan — batches
+// use a handful of specs at most.
+type specStep struct {
+	spec  core.Spec
+	cache *stepCache
+}
 
 // Budget caps the memory-consuming structures of a Session. The zero value
 // (and any zero field) means unlimited. Tripping a budget never aborts a
@@ -88,8 +177,26 @@ type Session struct {
 	// so InternedStates keeps reporting the vocabulary actually built.
 	internedHigh int
 	memos        []*memoTable
-	searchers    []*searcher
-	plans        []*prepared
+	// searchers and plans are pooled in size classes (sizeClass over the label
+	// count they were last sized for); searcherCount/planCount track the
+	// totals across classes for the MaxPlanPoolEntries budget.
+	searchers     [poolClasses][]*searcher
+	plans         [poolClasses][]*prepared
+	searcherCount int
+	planCount     int
+	// shareds pools the per-check coordination blocks (counters, compactor,
+	// stop flags) released by Run.
+	shareds []*shared
+	// steps holds one transition cache per distinct comparable specification
+	// checked through the session (stepCacheFor).
+	steps []specStep
+	// seen tracks the (rewritten) history pointers checked through the
+	// session, so Run attaches the transition cache only to re-checks: a
+	// first-contact history would fill the cache with entries keyed by its
+	// label pointers — copies that can never be hit again unless that very
+	// history object returns. Capped at seenHistoryCap pointers; like the
+	// rewrite cache, the pins are dropped on budget eviction.
+	seen map[*core.History]struct{}
 	// guidance is the guided-mode success-score table (core.GuidanceGuided):
 	// decayed per-label-class counters credited from the witnesses of the
 	// session's guided checks. It lives beside the plan pool and is dropped
@@ -199,8 +306,16 @@ func (s *Session) evictLocked() {
 	}
 	s.intern = newInternerLimited(s.budget.MaxInternedStates)
 	s.memos = nil
-	s.plans = nil
-	s.searchers = nil
+	for c := range s.plans {
+		s.plans[c] = nil
+		s.searchers[c] = nil
+	}
+	s.planCount, s.searcherCount = 0, 0
+	s.shareds = nil
+	// The step caches hold IDs of the evicted interner generation; replaying
+	// them against the fresh generation would alias unrelated states.
+	s.steps = nil
+	s.seen = nil
 	s.memoEntries.Store(0)
 	s.rewrites.Clear()
 	s.guidance = nil
@@ -238,27 +353,55 @@ func (s *Session) RewriteCache() *core.RewriteCache {
 	return &s.rewrites
 }
 
-// getPlan takes a recycled history plan from the pool — its index slices are
-// cleared-not-reallocated by the next build — or a fresh one when the session
-// is nil or the pool is empty. The second result reports whether the plan was
-// recycled (surfaced as Result.PlanReused).
-func (s *Session) getPlan() (*prepared, bool) {
+// getPlan takes a recycled history plan sized for n labels — its index slices
+// are cleared-not-reallocated by the next build — or a fresh one when the
+// session is nil or no suitable class has an entry. The plan's own size class
+// is tried first, then larger classes (their entries fit with room to spare);
+// smaller classes would only re-grow. The second result reports whether the
+// plan was recycled (surfaced as Result.PlanReused).
+func (s *Session) getPlan(n int) (*prepared, bool) {
 	if s == nil {
 		return &prepared{}, false
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if n := len(s.plans); n > 0 {
-		p := s.plans[n-1]
-		s.plans[n-1] = nil
-		s.plans = s.plans[:n-1]
+	if p := takeClassed(s.plans[:], sizeClass(n), &s.planCount); p != nil {
 		return p, true
 	}
 	return &prepared{}, false
 }
 
+// takeClassed pops an entry from a size-classed pool: the wanted class first,
+// then larger classes (their entries fit with room to spare), then smaller
+// ones (reuse with regrowth beats a cold allocation). count is the pool's
+// cross-class total. Returns the zero T when every class is empty.
+func takeClassed[T comparable](classes [][]T, want int, count *int) T {
+	var zero T
+	take := func(c int) (T, bool) {
+		if k := len(classes[c]); k > 0 {
+			e := classes[c][k-1]
+			classes[c][k-1] = zero
+			classes[c] = classes[c][:k-1]
+			*count--
+			return e, true
+		}
+		return zero, false
+	}
+	for c := want; c < poolClasses; c++ {
+		if e, ok := take(c); ok {
+			return e
+		}
+	}
+	for c := want - 1; c >= 0; c-- {
+		if e, ok := take(c); ok {
+			return e
+		}
+	}
+	return zero
+}
+
 // putPlan drops the plan's label references (so a pooled plan pins nothing of
-// the finished check's history) and returns it to the pool — unless the
+// the finished check's history) and returns it to its size class — unless the
 // budget caps the pool and it is full, in which case the plan is dropped for
 // the collector (cold-plan eviction). No-op on a nil session.
 func (s *Session) putPlan(p *prepared) {
@@ -267,11 +410,100 @@ func (s *Session) putPlan(p *prepared) {
 	}
 	p.release()
 	s.mu.Lock()
-	if max := s.budget.MaxPlanPoolEntries; max > 0 && len(s.plans) >= max {
+	if max := s.budget.MaxPlanPoolEntries; max > 0 && s.planCount >= max {
 		s.mu.Unlock()
 		return
 	}
-	s.plans = append(s.plans, p)
+	c := sizeClass(cap(p.order))
+	s.plans[c] = append(s.plans[c], p)
+	s.planCount++
+	s.mu.Unlock()
+}
+
+// seenHistoryCap bounds the re-check tracking set: past it, first contacts
+// are no longer recorded (their later re-checks just lose transition
+// caching), so an unbounded stream of distinct histories cannot grow the set
+// — or pin its histories — without limit.
+const seenHistoryCap = 1 << 16
+
+// recheck reports whether h was already checked through this session, and
+// records it for the next check if not. Run gates the transition cache on it:
+// only a history seen before is worth filling the cache for, because the
+// cache keys transitions by label pointer and distinct histories never share
+// labels. Nil-safe (sessionless checks are never re-checks).
+func (s *Session) recheck(h *core.History) bool {
+	if s == nil || h == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.seen[h]; ok {
+		return true
+	}
+	if s.seen == nil {
+		s.seen = make(map[*core.History]struct{})
+	}
+	if len(s.seen) < seenHistoryCap {
+		s.seen[h] = struct{}{}
+	}
+	return false
+}
+
+// stepCacheFor returns the session's transition cache for spec, creating it
+// on first contact. Only comparable spec values are cacheable (the cache is
+// found by interface equality); a non-comparable spec — or a nil session —
+// gets nil, and the search falls back to live stepping.
+func (s *Session) stepCacheFor(spec core.Spec) *stepCache {
+	if s == nil || spec == nil {
+		return nil
+	}
+	if t := reflect.TypeOf(spec); t == nil || !t.Comparable() {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.steps {
+		if e.spec == spec {
+			return e.cache
+		}
+	}
+	c := &stepCache{}
+	s.steps = append(s.steps, specStep{spec: spec, cache: c})
+	return c
+}
+
+// getShared takes a pooled per-check coordination block re-armed with the
+// given node budget, or a fresh one when the session is nil or the pool is
+// empty.
+func (s *Session) getShared(budget int64) *shared {
+	if s == nil {
+		return newShared(budget)
+	}
+	s.mu.Lock()
+	var sh *shared
+	if n := len(s.shareds); n > 0 {
+		sh = s.shareds[n-1]
+		s.shareds[n-1] = nil
+		s.shareds = s.shareds[:n-1]
+	}
+	s.mu.Unlock()
+	if sh == nil {
+		return newShared(budget)
+	}
+	sh.reset(budget)
+	return sh
+}
+
+// putShared releases the block's references into the finished check and pools
+// it. Run only calls this when no context watcher goroutine can still touch
+// the block. No-op on a nil session.
+func (s *Session) putShared(sh *shared) {
+	if s == nil || sh == nil {
+		return
+	}
+	sh.release()
+	s.mu.Lock()
+	s.shareds = append(s.shareds, sh)
 	s.mu.Unlock()
 }
 
@@ -312,26 +544,21 @@ func (s *Session) putMemo(m *memoTable) {
 	s.mu.Unlock()
 }
 
-// getSearcher takes a recycled searcher from the pool, or returns nil (which
-// newSearcher treats as "allocate fresh") when the session is nil or empty.
-func (s *Session) getSearcher() *searcher {
+// getSearcher takes a recycled searcher sized for n labels (its own size
+// class first, then larger), or returns nil (which newSearcher treats as
+// "allocate fresh") when the session is nil or no suitable class has one.
+func (s *Session) getSearcher(n int) *searcher {
 	if s == nil {
 		return nil
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if n := len(s.searchers); n > 0 {
-		w := s.searchers[n-1]
-		s.searchers[n-1] = nil
-		s.searchers = s.searchers[:n-1]
-		return w
-	}
-	return nil
+	return takeClassed(s.searchers[:], sizeClass(n), &s.searcherCount)
 }
 
 // putSearcher unwinds the searcher, drops its references to the finished
-// check's history and specification, and pools its backing arrays for the
-// next check. No-op on a nil session.
+// check's history and specification, and pools its backing arrays in their
+// size class for the next check. No-op on a nil session.
 func (s *Session) putSearcher(w *searcher) {
 	if s == nil || w == nil {
 		return
@@ -340,10 +567,12 @@ func (s *Session) putSearcher(w *searcher) {
 	s.mu.Lock()
 	// The searcher pool rides on the plan-pool budget: searcher scratch is
 	// sized by the same history shapes the plans index.
-	if max := s.budget.MaxPlanPoolEntries; max > 0 && len(s.searchers) >= max {
+	if max := s.budget.MaxPlanPoolEntries; max > 0 && s.searcherCount >= max {
 		s.mu.Unlock()
 		return
 	}
-	s.searchers = append(s.searchers, w)
+	c := sizeClass(cap(w.indegree))
+	s.searchers[c] = append(s.searchers[c], w)
+	s.searcherCount++
 	s.mu.Unlock()
 }

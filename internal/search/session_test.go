@@ -266,10 +266,11 @@ func TestDebugMemoDetectsCollision(t *testing.T) {
 	m := newMemoTable()
 	m.debug = true
 	k := key128{hi: 1, lo: 2}
-	if !m.claim(k, []uint64{10, 20}) {
+	legacy := key128{hi: 7, lo: 8}
+	if !m.claim(k, []uint64{10, 20}, legacy) {
 		t.Fatal("first claim must succeed")
 	}
-	if m.claim(k, []uint64{10, 20}) {
+	if m.claim(k, []uint64{10, 20}, legacy) {
 		t.Fatal("second claim of the same configuration must report duplicate")
 	}
 	defer func() {
@@ -277,7 +278,42 @@ func TestDebugMemoDetectsCollision(t *testing.T) {
 			t.Fatal("claiming the same key for a distinct tuple must panic")
 		}
 	}()
-	m.claim(k, []uint64{10, 21})
+	m.claim(k, []uint64{10, 21}, legacy)
+}
+
+// TestDebugMemoDualKeyBijection pins the old-key/new-key agreement assertion:
+// in debug mode every configuration carries both its word-folded key and its
+// legacy sorted-ID key, and the table panics as soon as the two schemes
+// disagree on configuration equality in either direction.
+func TestDebugMemoDualKeyBijection(t *testing.T) {
+	t.Run("split", func(t *testing.T) {
+		// Two distinct word-folded keys claiming one legacy key: the bitset
+		// representation split a configuration the ID walk considered equal.
+		m := newMemoTable()
+		m.debug = true
+		legacy := key128{hi: 7, lo: 8}
+		m.claim(key128{hi: 1, lo: 2}, []uint64{10}, legacy)
+		defer func() {
+			if recover() == nil {
+				t.Fatal("a second word-folded key for the same legacy key must panic")
+			}
+		}()
+		m.claim(key128{hi: 1, lo: 3}, []uint64{11}, legacy)
+	})
+	t.Run("merge", func(t *testing.T) {
+		// One word-folded key claimed under two distinct legacy keys: the new
+		// representation merged configurations the ID walk distinguished.
+		m := newMemoTable()
+		m.debug = true
+		k := key128{hi: 1, lo: 2}
+		m.claim(k, []uint64{10}, key128{hi: 7, lo: 8})
+		defer func() {
+			if recover() == nil {
+				t.Fatal("a second legacy key for the same word-folded key must panic")
+			}
+		}()
+		m.claim(k, []uint64{10}, key128{hi: 7, lo: 9})
+	})
 }
 
 // TestDebugMemoMatchesPlainMemo runs the same refutation with and without

@@ -8,6 +8,90 @@ import (
 	"ralin/internal/core"
 )
 
+// compactor assigns dense check-local IDs to session-interner IDs, in first-
+// contact order. The searchers' state-set bitsets and word-folded memo keys
+// index by compact ID, so their width tracks the states this check actually
+// reaches instead of the session's whole interned vocabulary. Assignment is a
+// bijection for the duration of one check, so any assignment order —
+// including the racy first-contact order of a parallel search — preserves set
+// equality exactly: two sets get equal word sequences iff they held equal
+// session IDs.
+//
+// Interner IDs are themselves dense from 0, so the forwarding table is a
+// slice indexed by interner ID, not a map — compact is an array load on the
+// hot path. Each entry is stamped with the check's epoch, making reset O(1):
+// bumping the epoch invalidates every stale entry at once.
+type compactor struct {
+	mu sync.RWMutex
+	// seq marks a single-worker check: exactly one goroutine calls compact,
+	// so the lock is skipped entirely. Run sets it per check.
+	seq   bool
+	epoch uint32
+	next  uint32
+	// fwd[id] = epoch<<32 | cid, valid only when the stamp matches the
+	// current epoch. Entries never shrink; stale stamps are dead weight until
+	// the slice is reused.
+	fwd []uint64
+}
+
+// compact returns the check-local ID of session-interner ID id, assigning the
+// next dense ID on first contact.
+func (c *compactor) compact(id uint32) uint32 {
+	if c.seq {
+		if int(id) < len(c.fwd) {
+			if e := c.fwd[id]; uint32(e>>32) == c.epoch {
+				return uint32(e)
+			}
+		}
+		return c.assign(id)
+	}
+	c.mu.RLock()
+	if int(id) < len(c.fwd) {
+		if e := c.fwd[id]; uint32(e>>32) == c.epoch {
+			c.mu.RUnlock()
+			return uint32(e)
+		}
+	}
+	c.mu.RUnlock()
+	c.mu.Lock()
+	var cid uint32
+	if int(id) < len(c.fwd) && uint32(c.fwd[id]>>32) == c.epoch {
+		cid = uint32(c.fwd[id])
+	} else {
+		cid = c.assign(id)
+	}
+	c.mu.Unlock()
+	return cid
+}
+
+// assign stamps the next dense ID for id. The caller must hold the write
+// lock (or be the only worker, seq mode).
+func (c *compactor) assign(id uint32) uint32 {
+	for int(id) >= len(c.fwd) {
+		c.fwd = append(c.fwd, 0)
+	}
+	cid := c.next
+	c.next++
+	c.fwd[id] = uint64(c.epoch)<<32 | uint64(cid)
+	return cid
+}
+
+// reset starts a fresh dense ID space for the next check by bumping the
+// epoch; the forwarding slice is kept but every stale entry's stamp stops
+// matching. Epoch 0 is reserved as "never stamped" (the zero value of a grown
+// entry), so a wrap skips it after zeroing the slice.
+func (c *compactor) reset() {
+	c.mu.Lock()
+	c.epoch++
+	if c.epoch == 0 {
+		clear(c.fwd)
+		c.epoch = 1
+	}
+	c.next = 0
+	c.seq = false
+	c.mu.Unlock()
+}
+
 // shared is the coordination state of one search: counters, the node budget,
 // the cancellation flag, the witness slot and the global keyability flag,
 // shared by all workers.
@@ -37,6 +121,13 @@ type shared struct {
 	// sess is notified on a memory-budget trip so it can evict its caches
 	// once the check (and any concurrent siblings) finish; nil-safe.
 	sess *Session
+	// steps is the session's transition cache for this check's specification
+	// (Session.stepCacheFor), nil when the check runs sessionless or the spec
+	// is not cacheable; every worker reads it through its searcher.
+	steps *stepCache
+	// compact is the check-local dense ID space over the session interner's
+	// IDs, shared by every worker and cleared when the block is pooled.
+	compact compactor
 
 	nodes    atomic.Int64
 	leaves   atomic.Int64
@@ -55,7 +146,58 @@ type shared struct {
 }
 
 func newShared(budget int64) *shared {
-	return &shared{budget: budget}
+	sh := &shared{budget: budget}
+	// Epoch 0 means "never stamped" in the compactor's forwarding entries;
+	// a live compactor always runs at epoch >= 1.
+	sh.compact.epoch = 1
+	return sh
+}
+
+// reset re-arms a pooled coordination block for a new check with the given
+// node budget. Reference-holding fields were already dropped by release; this
+// clears the flags and counters the next check starts from.
+func (sh *shared) reset(budget int64) {
+	sh.stop.Store(false)
+	sh.truncated.Store(false)
+	sh.unkeyable.Store(false)
+	sh.memDegraded.Store(false)
+	sh.charged.Store(0)
+	sh.budget = budget
+	sh.shards = 0
+	sh.memoCount = nil
+	sh.memoLimit = 0
+	sh.nodes.Store(0)
+	sh.leaves.Store(0)
+	sh.pruned.Store(0)
+	sh.memoHits.Store(0)
+	sh.steals.Store(0)
+	sh.donated.Store(0)
+	sh.compact.reset()
+}
+
+// release drops every reference the finished check left in the block —
+// witness labels, the prune error, the interruption record, the session and
+// step-cache pointers — so a pooled block pins nothing. The compact map and
+// counters are cleared by the next reset.
+func (sh *shared) release() {
+	sh.mu.Lock()
+	sh.witness = nil
+	sh.lastErr = nil
+	sh.inc = nil
+	sh.mu.Unlock()
+	sh.sess = nil
+	sh.steps = nil
+	sh.memoCount = nil
+}
+
+// wantErr reports whether the search still needs a representative prune error
+// (no witness, none recorded yet); flush uses it to skip rendering prune
+// reasons on witness-producing searches.
+func (sh *shared) wantErr() bool {
+	sh.mu.Lock()
+	want := sh.witness == nil && sh.lastErr == nil
+	sh.mu.Unlock()
+	return want
 }
 
 // interrupt flags the search truncated for the given cause and cancels all
