@@ -11,7 +11,7 @@ GO ?= go
 # the warm-session re-check steady state must report exactly 0 allocs/op,
 # baseline regardless, so a reintroduced per-check allocation fails the gate
 # even if the committed baseline carried it too.
-BENCH_GATE_PATTERN = BenchmarkEngineNonLinearizable|BenchmarkBatchCheckRandomHistories|BenchmarkBatchRefutations|BenchmarkSessionRecheck|BenchmarkScenarioCorpus|BenchmarkGuidedVsRankOrder
+BENCH_GATE_PATTERN = BenchmarkEngineNonLinearizable|BenchmarkBatchCheckRandomHistories|BenchmarkBatchRefutations|BenchmarkSessionRecheck|BenchmarkScenarioCorpus|BenchmarkGuidedVsRankOrder|BenchmarkIncrementalExtend
 NS_THRESHOLD ?= 25
 ZERO_ALLOC_PATTERN = ^BenchmarkSessionRecheck/session\b
 # NS_BASELINE optionally names a second, same-runner baseline JSON (the CI

@@ -554,6 +554,93 @@ func BenchmarkScenarioCorpus(b *testing.B) {
 	b.ReportMetric(float64(len(jobs))*float64(b.N)/b.Elapsed().Seconds(), "histories/sec")
 }
 
+// incrementalStream builds the deterministic n-op monitor workload of
+// BenchmarkIncrementalExtend: counter increments with a read every fourth
+// operation that sees every update so far (edges attached as the read is
+// appended, the way a live monitor observes them). Labels are shared across
+// iterations; each iteration replays them into a fresh history.
+func incrementalStream(n int) ([]*core.Label, [][]core.VisEdge) {
+	labels := make([]*core.Label, 0, n)
+	edges := make([][]core.VisEdge, n)
+	incs := 0
+	for k := 0; k < n; k++ {
+		id := uint64(k + 1)
+		if (k+1)%4 == 0 {
+			l := &core.Label{ID: id, Method: "read", Ret: int64(incs), Kind: core.KindQuery, GenSeq: id}
+			labels = append(labels, l)
+			for _, u := range labels[:k] {
+				if u.Kind == core.KindUpdate {
+					edges[k] = append(edges[k], core.VisEdge{From: u.ID, To: id})
+				}
+			}
+		} else {
+			labels = append(labels, &core.Label{ID: id, Method: "inc", Kind: core.KindUpdate, GenSeq: id})
+			incs++
+		}
+	}
+	return labels, edges
+}
+
+// BenchmarkIncrementalExtend measures the point of the incremental checker:
+// re-verifying a growing history at every operation. The extend variant
+// replays the stream through core.CheckRAExtend over one warm session, so
+// each prefix costs ~the marginal work of its new operation (a certificate
+// replay in the steady state); the scratch variant is what a monitor without
+// the incremental path must do — a full from-scratch check of every prefix.
+// Both verify the identical n prefixes per iteration and report prefixes/sec;
+// the committed baseline (BENCHMARKS.md) shows the extend curve staying ~flat
+// in n where scratch grows ~quadratically. `make bench-gate` diffs the
+// allocs/op of every sub-benchmark against the committed baseline.
+func BenchmarkIncrementalExtend(b *testing.B) {
+	sp := spec.Counter{}
+	for _, n := range []int{8, 16, 32, 64} {
+		labels, edges := incrementalStream(n)
+		replay := func(b *testing.B, check func(g *core.History, k int) core.Result) {
+			b.Helper()
+			g := core.NewHistory()
+			for k, l := range labels {
+				g.MustAdd(l)
+				for _, e := range edges[k] {
+					g.MustAddVis(e.From, e.To)
+				}
+				if res := check(g, k); res.Verdict != core.VerdictValid {
+					b.Fatalf("prefix %d/%d: %v (%+v)", k+1, n, res.Verdict, res.Incomplete)
+				}
+			}
+		}
+		b.Run(fmt.Sprintf("extend/n=%d", n), func(b *testing.B) {
+			sess := search.NewSession()
+			opts := core.CheckOptions{Exhaustive: true, Parallelism: 1, Session: sess}
+			run := func(b *testing.B) {
+				replay(b, func(g *core.History, k int) core.Result {
+					return core.CheckRAExtend(g, sp, labels[k:k+1], opts)
+				})
+			}
+			// Two warm-up replays fill the session caches (pools, interner,
+			// transition cache); the timed loop measures the steady state.
+			for w := 0; w < 2; w++ {
+				run(b)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run(b)
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "prefixes/sec")
+		})
+		b.Run(fmt.Sprintf("scratch/n=%d", n), func(b *testing.B) {
+			opts := core.CheckOptions{Exhaustive: true, Parallelism: 1}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				replay(b, func(g *core.History, k int) core.Result {
+					return core.CheckRA(g, sp, opts)
+				})
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "prefixes/sec")
+		})
+	}
+}
+
 // BenchmarkGuidedVsRankOrder is the differential benchmark gating guided
 // branch ordering (ROADMAP direction 4): the committed corpus is checked
 // sequentially with strategies disabled — so the engine searches every entry —

@@ -26,11 +26,12 @@ type Common struct {
 	timeout      *time.Duration
 	maxInterned  *int
 	maxMemoMB    *int
+	incremental  *bool
 }
 
-// AddCommon registers -engine, -guidance, -parallel, -batch-workers and the
-// resource limit flags (-timeout, -max-interned, -max-memo-mb) on the flag
-// set.
+// AddCommon registers -engine, -guidance, -parallel, -batch-workers,
+// -incremental and the resource limit flags (-timeout, -max-interned,
+// -max-memo-mb) on the flag set.
 func AddCommon(fs *flag.FlagSet) *Common {
 	return &Common{
 		engine:       fs.String("engine", "auto", "exhaustive-search engine: auto, pruned or legacy"),
@@ -40,8 +41,14 @@ func AddCommon(fs *flag.FlagSet) *Common {
 		timeout:      fs.Duration("timeout", 0, "wall-clock budget for the whole run; trials past the deadline report verdict unknown instead of hanging (0 = none)"),
 		maxInterned:  fs.Int("max-interned", 0, "memory budget: max distinct interned abstract states per session before searches degrade to memo-less mode (0 = unlimited)"),
 		maxMemoMB:    fs.Int("max-memo-mb", 0, "memory budget: approximate MiB of live memoization entries per session before searches degrade to memo-less mode (0 = unlimited)"),
+		incremental:  fs.Bool("incremental", false, "replay each history op-by-op through the incremental checker (Session.Extend): every prefix is re-verified in ~marginal time, same final verdicts as the batch check"),
 	}
 }
+
+// Incremental reports whether -incremental was given: histories should be
+// replayed op-by-op through harness.MonitorGenerated instead of batch-checked
+// whole.
+func (c *Common) Incremental() bool { return *c.incremental }
 
 // Options resolves the parsed flags into a harness.Options value.
 func (c *Common) Options() (harness.Options, error) {

@@ -75,7 +75,7 @@ func main() {
 	// unexpected refutations (1) dominate unknowns (2) dominate clean runs.
 	failed, unknown := 0, 0
 	for _, sc := range scenarios {
-		switch runScenario(sc, o, *seed, *trials) {
+		switch runScenario(sc, o, *seed, *trials, common.Incremental()) {
 		case 1:
 			failed++
 		case 2:
@@ -101,18 +101,26 @@ func fatal(err error) {
 // runScenario batch-checks trials histories of one scenario, prints a summary
 // line, and returns the scenario's verdict exit code (0/1/2). Refutations are
 // the expected outcome of naive-mode scenarios and unexpected anywhere else.
-func runScenario(sc scenario.Scenario, o harness.Options, seed int64, trials int) int {
+func runScenario(sc scenario.Scenario, o harness.Options, seed int64, trials int, incremental bool) int {
 	plan, err := sc.Plan()
 	if err != nil {
 		fatal(err)
 	}
 	gen := scenario.Generator{Scenario: sc, Seed: seed}
-	res, err := harness.CheckGeneratedAgainst(sc.Name, plan.Spec, plan.Options, gen, trials, o)
+	var res harness.HistoryCheck
+	if incremental {
+		res, err = harness.MonitorGenerated(sc.Name, plan.Spec, plan.Options, gen, trials, o)
+	} else {
+		res, err = harness.CheckGeneratedAgainst(sc.Name, plan.Spec, plan.Options, gen, trials, o)
+	}
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("%-20s %s vs %s (%s mode): %d histories, %d ops, %d nodes",
 		sc.Name, sc.CRDT, plan.SpecName, sc.Mode, res.Histories, res.Operations, res.Nodes)
+	if res.Prefixes > 0 {
+		fmt.Printf(", %d/%d prefixes replayed from certificate", res.Replayed, res.Prefixes)
+	}
 	switch {
 	case res.Invalid > 0 && plan.ExpectRefutations:
 		fmt.Printf(", %d refuted as intended (e.g. %s)", res.Invalid, res.FailureExample)

@@ -285,6 +285,17 @@ type Result struct {
 	// mode. A degraded check's verdict is still sound; only Nodes and
 	// wall-clock are affected.
 	MemDegraded bool
+	// Extended reports that this verdict was produced by the incremental
+	// extension path (CheckRAExtend through a session that had already
+	// checked a prefix of the history): the prepared plan was grown in place
+	// instead of rebuilt. The verdict itself is byte-identical to a
+	// from-scratch check either way.
+	Extended bool
+	// WitnessReplayed reports that the extension validated the previous
+	// check's cached witness as a certificate — the new operations were
+	// appended to the stored linearization and re-justified without any
+	// search. Implies Extended.
+	WitnessReplayed bool
 }
 
 // EngineOutcome is what a registered search engine reports back to CheckRA
@@ -513,6 +524,40 @@ func checkRA(h *History, spec Spec, opts CheckOptions) Result {
 	}
 	return res
 }
+
+// Extender is the optional incremental-extension interface an EngineSession
+// may implement (search.Session does). Extend re-checks a history the session
+// has seen before after newOps were appended to it, reusing the previous
+// verdict's witness as a certificate and growing the session's prepared plan
+// in place; it degrades to a warm from-scratch check whenever the incremental
+// preconditions fail, so the verdict is byte-identical to CheckRA either way.
+type Extender interface {
+	EngineSession
+	// Extend checks h (which already contains newOps as its final labels)
+	// incrementally against the session's cached state for h's prefix. The
+	// returned Result is finalized — Verdict and Incomplete are populated.
+	Extend(h *History, spec Spec, newOps []*Label, opts CheckOptions) Result
+}
+
+// CheckRAExtend is the incremental entry point of the checker: h grew by
+// newOps (already appended — they are h's final labels) since the session in
+// opts.Session last checked it. When the session supports extension and the
+// pruned engine is selected, the check reuses the previous verdict as a
+// certificate and costs ~the marginal work of the new operations; otherwise
+// it falls back to a plain CheckRA. Verdicts are byte-identical to CheckRA on
+// the full history in every case — only Result.Extended/WitnessReplayed and
+// the engine statistics differ.
+func CheckRAExtend(h *History, spec Spec, newOps []*Label, opts CheckOptions) Result {
+	if ext, ok := opts.Session.(Extender); ok && resolveEngine(opts.Engine) == EnginePruned {
+		return ext.Extend(h, spec, newOps, opts)
+	}
+	return CheckRA(h, spec, opts)
+}
+
+// Finalize derives Verdict and Incomplete from OK/Complete (the exported
+// counterpart of the internal derivation CheckRA applies; engine packages
+// implementing Extender use it to finalize the Results they build).
+func (r *Result) Finalize() { r.finalizeVerdict() }
 
 // CheckRAWith is CheckRA with an explicit engine session: the check reuses
 // the session's interned state IDs and pooled search scratch instead of

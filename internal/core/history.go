@@ -43,6 +43,9 @@ type History struct {
 	// adjacency is a generating set of the relation, not its closure.
 	adjOut [][]int32
 	adjIn  [][]int32
+	// nedges counts the recorded direct edges (the generating set, not the
+	// closure) so incremental consumers can detect edge growth in O(1).
+	nedges int
 	// reach[r] is the reachability row of rank r: bit s is set iff seq[r] is
 	// (transitively) visible to seq[s].
 	reach []bitset
@@ -119,6 +122,17 @@ func (h *History) MustAdd(l *Label) *Label {
 // Label returns the label with the given identifier, or nil.
 func (h *History) Label(id uint64) *Label { return h.byID[id].label }
 
+// RankOf returns the insertion rank of the label with the given identifier
+// and whether the history contains it. Incremental consumers use it to verify
+// that claimed-new labels really are the history's tail.
+func (h *History) RankOf(id uint64) (int, bool) {
+	e, ok := h.byID[id]
+	return int(e.rank), ok
+}
+
+// LabelAt returns the label at the given insertion rank (0 ≤ rank < Len).
+func (h *History) LabelAt(rank int) *Label { return h.seq[rank] }
+
 // Len returns the number of labels.
 func (h *History) Len() int { return len(h.seq) }
 
@@ -188,7 +202,18 @@ func (h *History) touchRow(row *bitset, words int) {
 func (h *History) recordEdge(rf, rt int) {
 	h.adjOut[rf] = h.edgeMem.appendEdge(h.adjOut[rf], int32(rt))
 	h.adjIn[rt] = h.edgeMem.appendEdge(h.adjIn[rt], int32(rf))
+	h.nedges++
 }
+
+// DirectEdgeCount returns the number of directly recorded visibility edges —
+// the generating set AddVis kept, not the closure. Incremental extension uses
+// it to detect, in O(1), whether edges appeared between two snapshots beyond
+// the ones counted into the appended suffix.
+func (h *History) DirectEdgeCount() int { return h.nedges }
+
+// DirectInDegree returns the number of directly recorded edges whose target
+// is rank t (the length of the adjIn row, not the closed predecessor set).
+func (h *History) DirectInDegree(t int) int { return len(h.adjIn[t]) }
 
 // AddVis records that the label with identifier from is visible to the label
 // with identifier to, and maintains the reachability index and its
@@ -609,6 +634,7 @@ func (h *History) IsAcyclic() bool {
 func (h *History) Clone() *History {
 	c := &History{
 		byID:   make(map[uint64]labelAt, len(h.byID)),
+		nedges: h.nedges,
 		seq:    make([]*Label, len(h.seq)),
 		adjOut: make([][]int32, len(h.adjOut)),
 		adjIn:  make([][]int32, len(h.adjIn)),

@@ -135,6 +135,17 @@ func (c *RewriteCache) store(h *History, token any, rew *RewrittenHistory) {
 	c.entries[h] = rewriteEntry{token: token, rew: rew}
 }
 
+// Invalidate drops the cached rewriting of one history. The incremental
+// extension path calls it when an in-place extension of the cached clone
+// fails partway: the cache is keyed by history identity under an immutability
+// assumption, so once h has grown past what the cached clone reflects the
+// entry is stale and must not be served to a later from-scratch check.
+func (c *RewriteCache) Invalidate(h *History) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.entries, h)
+}
+
 // Clear drops every cached rewriting (the hit/miss counters are kept). The
 // search session's memory-budget eviction calls it so a tripped session
 // releases the pinned histories and clones along with its other caches.
@@ -164,6 +175,23 @@ func (c *RewriteCache) Len() int {
 type RewriteCacher interface {
 	RewriteCache() *RewriteCache
 }
+
+// RewriteForCheck derives the γ-rewriting of h exactly the way CheckRA with
+// the same options would — including the session rewrite-cache probe and the
+// nil-rewriting aliasing fast path — and reports whether it was served from
+// the cache. Engine sessions implementing the incremental Extender entry use
+// it to capture the same RewrittenHistory pointer the preceding from-scratch
+// check worked on, so extending that clone in place keeps the cache coherent.
+func RewriteForCheck(h *History, opts CheckOptions) (*RewrittenHistory, bool, error) {
+	return rewriteForCheck(h, opts)
+}
+
+// RewritingIdentity returns a comparable value identifying the semantics of a
+// rewriting, or ok=false when the rewriting has no usable identity (the
+// RewriteFunc default). Two rewritings with equal identities produce the same
+// γ(h) for every h; incremental extension compares identities across calls to
+// decide whether the cached rewritten clone may be grown in place.
+func RewritingIdentity(g Rewriting) (any, bool) { return rewritingToken(g) }
 
 // rewriteForCheck is CheckRA's entry into the rewriting: the session's
 // rewrite cache when one is available and applicable (non-nil rewriting with

@@ -47,7 +47,15 @@ type RewrittenHistory struct {
 	// nil means the identity rewriting, whose images are the labels
 	// themselves.
 	images map[uint64]rewrittenPair
+	// nextID is the last image identifier assigned on the cloning path, kept
+	// so ExtendRewriting continues the sequence exactly where a from-scratch
+	// rewrite of the longer history would.
+	nextID uint64
 }
+
+// Aliased reports whether the rewriting took the identity fast path: History
+// aliases the checked input instead of being a rewritten clone.
+func (r *RewrittenHistory) Aliased() bool { return r.images == nil }
 
 // QueryPart returns the rewritten label playing the role qry(γ(ℓ)) for the
 // original label identifier id.
@@ -118,57 +126,9 @@ func RewriteHistory(h *History, g Rewriting) (*RewrittenHistory, error) {
 	}
 	out := &RewrittenHistory{History: NewHistory(), images: make(map[uint64]rewrittenPair, len(h.seq))}
 	out.History.reserve(2 * len(h.seq))
-	var nextID uint64
 	for _, l := range h.seq {
-		imgs, err := g.Rewrite(l)
-		if err != nil {
-			return nil, fmt.Errorf("rewrite %v: %w", l, err)
-		}
-		switch len(imgs) {
-		case 1:
-			img := imgs[0].Clone()
-			if l.IsQueryUpdate() {
-				return nil, fmt.Errorf("rewrite %v: query-update must map to a (query, update) pair", l)
-			}
-			if img.Kind != l.Kind {
-				return nil, fmt.Errorf("rewrite %v: image kind %v differs from original kind %v", l, img.Kind, l.Kind)
-			}
-			nextID++
-			img.ID = nextID
-			img.Origin = l.Origin
-			img.GenSeq = l.GenSeq * 2
-			if err := out.History.Add(img); err != nil {
-				return nil, err
-			}
-			out.images[l.ID] = rewrittenPair{qry: img.ID, upd: img.ID}
-		case 2:
-			if !l.IsQueryUpdate() {
-				return nil, fmt.Errorf("rewrite %v: only query-updates may map to pairs", l)
-			}
-			q, u := imgs[0].Clone(), imgs[1].Clone()
-			if !q.IsQuery() || !u.IsUpdate() {
-				return nil, fmt.Errorf("rewrite %v: pair must be (query, update), got (%v, %v)", l, q.Kind, u.Kind)
-			}
-			nextID++
-			q.ID = nextID
-			q.Origin = l.Origin
-			q.GenSeq = l.GenSeq * 2
-			nextID++
-			u.ID = nextID
-			u.Origin = l.Origin
-			u.GenSeq = l.GenSeq*2 + 1
-			if err := out.History.Add(q); err != nil {
-				return nil, err
-			}
-			if err := out.History.Add(u); err != nil {
-				return nil, err
-			}
-			if err := out.History.AddVis(q.ID, u.ID); err != nil {
-				return nil, err
-			}
-			out.images[l.ID] = rewrittenPair{qry: q.ID, upd: u.ID}
-		default:
-			return nil, fmt.Errorf("rewrite %v: image must have one or two labels, got %d", l, len(imgs))
+		if err := out.appendImage(l, g); err != nil {
+			return nil, err
 		}
 	}
 	// Transport the visibility relation: only the DIRECT edges move — for
@@ -199,6 +159,110 @@ func RewriteHistory(h *History, g Rewriting) (*RewrittenHistory, error) {
 		}
 	}
 	return out, nil
+}
+
+// appendImage clones l's γ-image into the rewritten history on the cloning
+// path, assigning the next fresh identifier(s) and the doubled GenSeqs, and
+// records the image pair. Identifier assignment depends only on the labels
+// appended before this one, so appending through ExtendRewriting reproduces
+// exactly the labels a from-scratch rewrite of the longer history would
+// build.
+func (r *RewrittenHistory) appendImage(l *Label, g Rewriting) error {
+	imgs, err := g.Rewrite(l)
+	if err != nil {
+		return fmt.Errorf("rewrite %v: %w", l, err)
+	}
+	switch len(imgs) {
+	case 1:
+		img := imgs[0].Clone()
+		if l.IsQueryUpdate() {
+			return fmt.Errorf("rewrite %v: query-update must map to a (query, update) pair", l)
+		}
+		if img.Kind != l.Kind {
+			return fmt.Errorf("rewrite %v: image kind %v differs from original kind %v", l, img.Kind, l.Kind)
+		}
+		r.nextID++
+		img.ID = r.nextID
+		img.Origin = l.Origin
+		img.GenSeq = l.GenSeq * 2
+		if err := r.History.Add(img); err != nil {
+			return err
+		}
+		r.images[l.ID] = rewrittenPair{qry: img.ID, upd: img.ID}
+	case 2:
+		if !l.IsQueryUpdate() {
+			return fmt.Errorf("rewrite %v: only query-updates may map to pairs", l)
+		}
+		q, u := imgs[0].Clone(), imgs[1].Clone()
+		if !q.IsQuery() || !u.IsUpdate() {
+			return fmt.Errorf("rewrite %v: pair must be (query, update), got (%v, %v)", l, q.Kind, u.Kind)
+		}
+		r.nextID++
+		q.ID = r.nextID
+		q.Origin = l.Origin
+		q.GenSeq = l.GenSeq * 2
+		r.nextID++
+		u.ID = r.nextID
+		u.Origin = l.Origin
+		u.GenSeq = l.GenSeq*2 + 1
+		if err := r.History.Add(q); err != nil {
+			return err
+		}
+		if err := r.History.Add(u); err != nil {
+			return err
+		}
+		if err := r.History.AddVis(q.ID, u.ID); err != nil {
+			return err
+		}
+		r.images[l.ID] = rewrittenPair{qry: q.ID, upd: u.ID}
+	default:
+		return fmt.Errorf("rewrite %v: image must have one or two labels, got %d", l, len(imgs))
+	}
+	return nil
+}
+
+// ExtendRewriting appends the γ-images of h's labels from rank oldLen onward
+// to rew — which must be the (cloning-path) rewriting of h's first oldLen
+// labels under g — and transports the direct visibility edges targeting the
+// new labels. The caller guarantees the incremental edge discipline: every
+// direct edge recorded in h since rew was built has its target among the new
+// ranks (old→new or new→new). Under that precondition the extended rew is
+// label-for-label and closure-identical to RewriteHistory(h, g); on any error
+// rew may hold a partial extension and must be discarded and rebuilt.
+func ExtendRewriting(rew *RewrittenHistory, h *History, oldLen int, g Rewriting) error {
+	if rew.images == nil {
+		return fmt.Errorf("rewrite: cannot extend an aliased identity rewriting")
+	}
+	if g == nil {
+		g = IdentityRewriting{}
+	}
+	for _, l := range h.seq[oldLen:] {
+		if err := rew.appendImage(l, g); err != nil {
+			return err
+		}
+	}
+	// Transport the new direct edges. From-scratch transport iterates sources
+	// in rank order with sorted targets; here the new edges are found per
+	// target instead (sorted sources), which inserts the same generating set —
+	// the closures, and therefore every check-visible query, agree.
+	var froms []int32
+	for rt := oldLen; rt < len(h.seq); rt++ {
+		ins := h.adjIn[rt]
+		if len(ins) == 0 {
+			continue
+		}
+		froms = append(froms[:0], ins...)
+		slices.Sort(froms)
+		to := h.seq[rt]
+		qryTo := rew.images[to.ID].qry
+		for _, rf := range froms {
+			from := h.seq[rf]
+			if err := rew.History.AddVis(rew.images[from.ID].upd, qryTo); err != nil {
+				return fmt.Errorf("rewrite visibility %v -> %v: %w", from, to, err)
+			}
+		}
+	}
+	return nil
 }
 
 // hasGenSeqTie reports whether two labels of h share a generator sequence

@@ -176,6 +176,16 @@ type HistoryCheck struct {
 	// FailureExample describes the first definitively non-linearizable
 	// history (by trial index), if any.
 	FailureExample string
+	// Prefixes, Replayed, ExtendSearches and Rebuilds are the incremental
+	// monitor's counters (MonitorGenerated): prefixes checked op-by-op,
+	// verdicts produced by replaying the previous witness as a certificate,
+	// extended fallback searches over the grown plan, and prefixes whose
+	// extension preconditions failed (checked by a plain warm pass). All zero
+	// for the batch entry points.
+	Prefixes       int
+	Replayed       int
+	ExtendSearches int
+	Rebuilds       int
 }
 
 // OK reports whether every history was RA-linearizable. Unknown trials count

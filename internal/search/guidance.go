@@ -150,6 +150,27 @@ func (p *prepared) buildGuide(tab *scoreTable, strong bool) {
 	}
 }
 
+// guideWitnessBase is the per-position step of the witness-seed bonus the
+// extension fallback layers onto the guided scores. It sits far above the
+// novelty bit (1<<30), so among seeded labels the certificate order always
+// wins over every dynamic signal, and any seeded label beats any unseeded
+// one.
+const guideWitnessBase = int64(1) << 32
+
+// seedWitness adds the certificate bonus for the failed witness linearization
+// to an already-built guide: the k-th label of the witness outscores the
+// (k+1)-th and every unseeded label, so the fallback search's first branch is
+// exactly the old witness order and exploration diverges from it as late as
+// possible. seed holds plan label indices in witness order. Ordering is a
+// heuristic only — verdicts are unchanged (see the package differential
+// gates).
+func (p *prepared) seedWitness(seed []int) {
+	n := len(seed)
+	for k, i := range seed {
+		p.guide[i] += guideWitnessBase * int64(n-k)
+	}
+}
+
 // resizeInt64s returns a length-n int64 slice, reusing s's backing array when
 // it is large enough. Contents are unspecified; callers overwrite every entry.
 func resizeInt64s(s []int64, n int) []int64 {

@@ -95,6 +95,18 @@ func Run(h *core.History, spec core.Spec, strong bool, opts core.CheckOptions) c
 		guideTab = sess.guideScores()
 		pre.buildGuide(guideTab, strong)
 	}
+	return runPrepared(sess, intern, pre, h, spec, strong, guided, guideTab, planReused, opts)
+}
+
+// runPrepared executes the search phase of Run over an already-built plan:
+// shared-block arming, transition-cache gating, context watching, and the
+// sequential or work-stealing worker pool. It is split from Run so the
+// incremental extension path (Session.Extend) can run a search over a plan it
+// grew in place — with witness-seeded guide scores — instead of rebuilding
+// one; Run's own call passes the plan it just built. The caller owns pre's
+// lifetime (Run pools it, Extend keeps it in the extension entry) and must
+// hold the session's check pin (beginCheck) for the duration.
+func runPrepared(sess *Session, intern *interner, pre *prepared, h *core.History, spec core.Spec, strong, guided bool, guideTab *scoreTable, planReused bool, opts core.CheckOptions) core.EngineOutcome {
 	// The shared coordination block is pooled per session like the plans and
 	// searchers — but only when no context watcher goroutine can outlive the
 	// check and touch it after release (poolable below).
@@ -406,6 +418,85 @@ func (p *prepared) build(h *core.History, strong bool) error {
 	return nil
 }
 
+// extend grows an already-built plan in place after h gained labels at the
+// end: only the new ranks' index rows are derived, and every existing row is
+// kept rather than cleared and refilled the way build would. The caller (the
+// incremental extension path) guarantees the edge discipline — every direct
+// visibility edge recorded since the plan was built targets a new rank — so
+// the old rows are still exact: an old label can gain new successors (new
+// queries seeing it, appended here) but never new predecessors. oldN is the
+// label count the plan was built for.
+func (p *prepared) extend(h *core.History, oldN int, strong bool) error {
+	p.labels = h.AppendLabels(p.labels[:0])
+	labels := p.labels
+	n := len(labels)
+	for _, l := range labels[oldN:] {
+		if !strong && l.IsQueryUpdate() {
+			return fmt.Errorf("label %v is a query-update; apply a rewriting first", l)
+		}
+	}
+	p.preds = growIndexSets(p.preds, n)
+	p.succs = growIndexSets(p.succs, n)
+	p.affected = growIndexSets(p.affected, n)
+	// One predecessor-row sweep per new label fills its preds row and extends
+	// the successor rows of everything that reaches it; processing new ranks in
+	// ascending order keeps every succs row ascending, matching build's SuccRow
+	// fill order.
+	for t := oldN; t < n; t++ {
+		h.PredRow(t, func(f int) {
+			p.preds[t] = append(p.preds[t], f)
+			p.succs[f] = append(p.succs[f], t)
+		})
+	}
+	if !strong {
+		for t := oldN; t < n; t++ {
+			if labels[t].IsQuery() {
+				p.queries = append(p.queries, t)
+				for _, u := range p.preds[t] {
+					if labels[u].IsUpdate() {
+						p.affected[u] = append(p.affected[u], t)
+					}
+				}
+			}
+		}
+	}
+	// Candidate order: sort the new indices among themselves, then either
+	// append (the common case — a live stream's new GenSeqs follow the old
+	// maximum) or fall back to a full re-sort when a new label sorts before the
+	// old tail. Frontier bit positions (pos) move only in the re-sort case.
+	for i := oldN; i < n; i++ {
+		p.order = append(p.order, i)
+	}
+	p.sorter.order, p.sorter.labels = p.order[oldN:], labels
+	sort.Sort(&p.sorter)
+	p.sorter.order, p.sorter.labels = nil, nil
+	if oldN > 0 && n > oldN && orderLess(labels, p.order[oldN], labels, p.order[oldN-1]) {
+		p.sorter.order, p.sorter.labels = p.order, labels
+		sort.Sort(&p.sorter)
+		p.sorter.order, p.sorter.labels = nil, nil
+		p.pos = growInts(p.pos, n)
+		for pi, i := range p.order {
+			p.pos[i] = pi
+		}
+		return nil
+	}
+	p.pos = growInts(p.pos, n)
+	for pi := oldN; pi < n; pi++ {
+		p.pos[p.order[pi]] = pi
+	}
+	return nil
+}
+
+// orderLess is orderSorter's comparison over explicit label slices, shared
+// with extend's append-or-resort decision.
+func orderLess(las []*core.Label, a int, lbs []*core.Label, b int) bool {
+	la, lb := las[a], lbs[b]
+	if la.GenSeq != lb.GenSeq {
+		return la.GenSeq < lb.GenSeq
+	}
+	return la.ID < lb.ID
+}
+
 // release drops the plan's references into the finished check's history so a
 // pooled plan pins no labels; the index arrays (ints only) stay for the next
 // build.
@@ -429,4 +520,33 @@ func resizeIndexSets(s [][]int, n int) [][]int {
 		s[i] = s[i][:0]
 	}
 	return s
+}
+
+// growIndexSets extends s to length n keeping every existing row intact —
+// the incremental counterpart of resizeIndexSets, which clears all rows —
+// and truncates only the newly exposed tail rows.
+func growIndexSets(s [][]int, n int) [][]int {
+	old := len(s)
+	if cap(s) < n {
+		grown := make([][]int, n)
+		copy(grown, s)
+		s = grown
+	} else {
+		s = s[:n]
+	}
+	for i := old; i < n; i++ {
+		s[i] = s[i][:0]
+	}
+	return s
+}
+
+// growInts extends s to length n preserving its prefix (resizeInts zeroes on
+// regrowth; extension needs the old values).
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		grown := make([]int, n)
+		copy(grown, s)
+		return grown
+	}
+	return s[:n]
 }

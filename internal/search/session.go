@@ -78,18 +78,30 @@ func (c *stepCache) get(id uint32, l *core.Label) (stepEntry, bool) {
 }
 
 // put stores one transition result, copying both slices (callers pass
-// scratch). First writer wins; at the cap the cache stops growing.
+// scratch). First writer wins; at the cap the cache stops growing. The copies
+// are built before the write lock is taken — and skipped entirely when a
+// read-locked probe already sees the cache full or the entry present — so
+// parallel workers filling the cache contend only on the map insert, not on
+// the allocation and copy of every entry.
 func (c *stepCache) put(id uint32, l *core.Label, states []core.AbsState, ids []uint32) {
 	k := stepKey{state: id, label: l}
+	c.mu.RLock()
+	full := len(c.entries) >= stepCacheCap
+	_, dup := c.entries[k]
+	c.mu.RUnlock()
+	if full || dup {
+		return
+	}
+	e := stepEntry{
+		states: append([]core.AbsState(nil), states...),
+		ids:    append([]uint32(nil), ids...),
+	}
 	c.mu.Lock()
 	if c.entries == nil {
 		c.entries = make(map[stepKey]stepEntry)
 	}
 	if _, dup := c.entries[k]; !dup && len(c.entries) < stepCacheCap {
-		c.entries[k] = stepEntry{
-			states: append([]core.AbsState(nil), states...),
-			ids:    append([]uint32(nil), ids...),
-		}
+		c.entries[k] = e
 	}
 	c.mu.Unlock()
 }
@@ -197,6 +209,13 @@ type Session struct {
 	// history object returns. Capped at seenHistoryCap pointers; like the
 	// rewrite cache, the pins are dropped on budget eviction.
 	seen map[*core.History]struct{}
+	// exts tracks per-history incremental-extension state (Session.Extend):
+	// the length, rewriting and prepared plan of each history's last verdict,
+	// plus the witness certificate when that verdict was Valid. Entries are
+	// capped at extensionCap and dropped wholesale on budget eviction — their
+	// plans index the evicted generation's pooled shapes and their witnesses
+	// pin rewritten labels.
+	exts map[*core.History]*extension
 	// guidance is the guided-mode success-score table (core.GuidanceGuided):
 	// decayed per-label-class counters credited from the witnesses of the
 	// session's guided checks. It lives beside the plan pool and is dropped
@@ -316,6 +335,10 @@ func (s *Session) evictLocked() {
 	// them against the fresh generation would alias unrelated states.
 	s.steps = nil
 	s.seen = nil
+	// Extension state is rebuilt on the next Extend of each history: the
+	// cached plans belong to the evicted pool generation and the witness
+	// certificates pin rewritten labels the fresh session should not.
+	s.exts = nil
 	s.memoEntries.Store(0)
 	s.rewrites.Clear()
 	s.guidance = nil
